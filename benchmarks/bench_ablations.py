@@ -1,0 +1,172 @@
+"""Experiment A1 — ablations of the paper's design choices.
+
+Each algorithm bundles several ideas; these ablations isolate them:
+
+* TreeIntersect **without the balanced partition** (one global block):
+  S-tuples then cross β-edges freely, inflating cost on trees whose
+  racks could have joined locally;
+* wHC **with equal squares** (the classic-HyperCube sizing): slow links
+  become the bottleneck;
+* weighted TeraSort **without proportional splitting** (one splitter
+  interval per heavy node): heavy nodes with lots of data ship most of
+  it away instead of keeping it;
+* weighted TeraSort **without the gather shortcut** on a dominant node:
+  pays the full 4-round machinery where one hop sufficed.
+
+Each ablated variant must stay *correct* (the tests verify outputs) —
+only its cost degrades.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import record_table
+from repro.core.intersection.tree import tree_intersect
+from repro.core.cartesian.whc import whc_cartesian_product, whc_dimensions
+from repro.core.sorting.ordering import verify_sorted_output
+from repro.core.sorting.wts import weighted_terasort
+from repro.data.generators import (
+    adversarial_sorted_distribution,
+    random_distribution,
+)
+from repro.topology.builders import star, two_level
+from repro.util.intmath import next_power_of_two
+
+ROWS: list = []
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_balanced_partition(benchmark):
+    tree = two_level([4, 4], leaf_bandwidth=4.0, uplink_bandwidth=1.0)
+    dist = random_distribution(
+        tree, r_size=1_000, s_size=12_000, policy="uniform", seed=101
+    )
+
+    def run_both():
+        full = tree_intersect(tree, dist, seed=6)
+        ablated = tree_intersect(
+            tree, dist, seed=6, blocks=[tree.compute_nodes]
+        )
+        return full, ablated
+
+    full, ablated = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    truth = set(
+        np.intersect1d(dist.relation("R"), dist.relation("S")).tolist()
+    )
+    for result in (full, ablated):
+        found: set = set()
+        for values in result.outputs.values():
+            found |= set(values.tolist())
+        assert found == truth
+    assert full.cost < ablated.cost
+    ROWS.append(
+        ["intersection", "balanced partition", f"{full.cost:.0f}",
+         f"{ablated.cost:.0f}", f"{ablated.cost / full.cost:.2f}"]
+    )
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_weighted_squares(benchmark):
+    tree = star(8, bandwidth=[16, 16, 8, 8, 2, 2, 1, 1])
+    dist = random_distribution(
+        tree, r_size=3_000, s_size=3_000, policy="proportional", seed=102
+    )
+    nodes = sorted(tree.compute_nodes, key=str)
+    equal_dim = next_power_of_two(
+        max(1, round((6_000 * 6_000 / 4 / len(nodes)) ** 0.5))
+    )
+
+    def run_both():
+        weighted = whc_cartesian_product(tree, dist)
+        equal = whc_cartesian_product(
+            tree, dist, dims={v: 4 * equal_dim for v in nodes}
+        )
+        return weighted, equal
+
+    weighted, equal = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    assert sum(o["num_pairs"] for o in weighted.outputs.values()) == 3_000**2
+    assert sum(o["num_pairs"] for o in equal.outputs.values()) == 3_000**2
+    assert weighted.cost < equal.cost
+    ROWS.append(
+        ["cartesian", "weighted squares", f"{weighted.cost:.0f}",
+         f"{equal.cost:.0f}", f"{equal.cost / weighted.cost:.2f}"]
+    )
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_proportional_split(benchmark):
+    # A heavily skewed star: with proportional splitting the big node
+    # keeps most of its data; with equal splitting it ships ~7/8 away.
+    tree = star(8)
+    nodes = tree.left_to_right_compute_order()
+    from repro.data.generators import distribute, make_sort_input, place_zipf
+
+    total = 30_000
+    dist = distribute(
+        make_sort_input(total, seed=9),
+        place_zipf(total, nodes, exponent=1.2),
+        tag="R",
+        shuffle_seed=10,
+    )
+
+    def run_both():
+        full = weighted_terasort(tree, dist, seed=7)
+        ablated = weighted_terasort(
+            tree, dist, seed=7, proportional_split=False
+        )
+        return full, ablated
+
+    full, ablated = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    for result in (full, ablated):
+        verify_sorted_output(
+            tree, result.outputs, result.meta["order"], dist.relation("R")
+        )
+    assert full.cost < ablated.cost
+    ROWS.append(
+        ["sorting", "proportional split", f"{full.cost:.0f}",
+         f"{ablated.cost:.0f}", f"{ablated.cost / full.cost:.2f}"]
+    )
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_gather_shortcut(benchmark):
+    # One node just over the half-data mark, the rest still heavy
+    # enough to participate: without the shortcut, wTS pays its full
+    # 4-round machinery (sampling, splitters, redistribution) where a
+    # single gather round suffices and is optimal.
+    tree = star(4)
+    dist = random_distribution(
+        tree, r_size=8_000, s_size=0,
+        policy="single-heavy", heavy_fraction=0.55, seed=103,
+    )
+
+    def run_both():
+        full = weighted_terasort(tree, dist, seed=8)
+        ablated = weighted_terasort(tree, dist, seed=8, gather_shortcut=False)
+        return full, ablated
+
+    full, ablated = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    for result in (full, ablated):
+        verify_sorted_output(
+            tree, result.outputs, result.meta["order"], dist.relation("R")
+        )
+    # The shortcut's benefit is synchronization: one round instead of
+    # four.  Costs stay comparable either way (measured: on *friendly*
+    # placements the 4-round machinery can even undercut the gather,
+    # because Theorem 6's bound is worst-case over placements —
+    # recorded honestly in EXPERIMENTS.md).
+    assert full.rounds == 1
+    assert ablated.rounds == 4
+    assert full.cost <= 2.0 * ablated.cost
+    assert ablated.cost <= 2.0 * full.cost
+    ROWS.append(
+        ["sorting", "gather shortcut (rounds 1 vs 4)", f"{full.cost:.0f}",
+         f"{ablated.cost:.0f}", f"{ablated.cost / max(full.cost, 1):.2f}"]
+    )
+    record_table(
+        "Ablations — removing each design choice (cost with / without)",
+        ["task", "ablated feature", "full cost", "ablated cost", "penalty"],
+        list(ROWS),
+    )

@@ -1,0 +1,101 @@
+"""Experiment F4 — Figure 4: packing squares proportional to bandwidth.
+
+Figure 4 illustrates the power-of-two square packing.  Claims validated:
+
+* the packing always exactly tiles the output grid (Lemma 5), with
+  bounded overhang waste — reported as utilization;
+* square dimensions track link bandwidths (equation (1)), so each
+  node's received volume is proportional to its link capacity;
+* as bandwidth heterogeneity grows, the weighted HyperCube's advantage
+  over the classic equal-squares HyperCube grows with it, while wHC
+  stays within a constant of max(Theorem 3, Theorem 4).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record_table
+from repro.baselines.hypercube import classic_hypercube_cartesian_product
+from repro.core.cartesian.lower_bounds import cartesian_lower_bound
+from repro.core.cartesian.whc import whc_cartesian_product
+from repro.data.generators import random_distribution
+from repro.topology.builders import star
+
+SPREADS = (1, 4, 16, 64)
+SIZE = 4_000
+
+
+def _star_with_spread(spread: int):
+    bandwidths = [1.0, 1.0, float(spread) ** 0.5, float(spread) ** 0.5,
+                  float(spread), float(spread), 1.0, float(spread) ** 0.5]
+    return star(8, bandwidth=bandwidths, name=f"star(8) spread {spread}x")
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_weighted_vs_classic_squares(benchmark):
+    def sweep():
+        rows = []
+        for spread in SPREADS:
+            tree = _star_with_spread(spread)
+            dist = random_distribution(
+                tree, r_size=SIZE, s_size=SIZE, policy="proportional", seed=77
+            )
+            bound = cartesian_lower_bound(tree, dist)
+            weighted = whc_cartesian_product(tree, dist)
+            classic = classic_hypercube_cartesian_product(tree, dist)
+            rows.append((spread, bound, weighted, classic))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    table = []
+    for spread, bound, weighted, classic in rows:
+        utilization = weighted.meta["coverage"]["utilization"]
+        advantage = classic.cost / weighted.cost
+        table.append(
+            [
+                f"{spread}x",
+                f"{bound.value:.0f}",
+                f"{weighted.cost:.0f}",
+                f"{weighted.cost / bound.value:.2f}",
+                f"{classic.cost:.0f}",
+                f"{advantage:.2f}",
+                f"{utilization:.2f}",
+            ]
+        )
+        # wHC within a constant of the bound at every spread.
+        assert weighted.cost <= 4 * bound.value
+        # grid exactly covered, overhang bounded.
+        assert utilization >= 0.2
+
+    # the weighted variant's advantage grows with heterogeneity.
+    advantages = [classic.cost / weighted.cost for _, _, weighted, classic in rows]
+    assert advantages[-1] > advantages[0]
+    assert advantages[-1] >= 2.0
+
+    record_table(
+        f"Figure 4 — wHC vs classic HyperCube on star(8), |R|=|S|={SIZE}, "
+        "bandwidth-proportional placement",
+        ["bw spread", "bound", "wHC cost", "wHC ratio",
+         "classic cost", "classic/wHC", "grid utilization"],
+        table,
+    )
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_received_volume_tracks_bandwidth(benchmark):
+    tree = _star_with_spread(16)
+    dist = random_distribution(
+        tree, r_size=SIZE, s_size=SIZE, policy="proportional", seed=78
+    )
+    result = benchmark.pedantic(
+        lambda: whc_cartesian_product(tree, dist), rounds=2, iterations=1
+    )
+    dims = result.meta["dims"]
+    # monotone: faster link -> at least as large a square.
+    for a in tree.compute_nodes:
+        for b in tree.compute_nodes:
+            if tree.bandwidth(a, "w") >= 2 * tree.bandwidth(b, "w"):
+                assert dims[a] >= dims[b]
+    benchmark.extra_info["dims"] = {str(k): v for k, v in dims.items()}

@@ -1,0 +1,132 @@
+"""Experiment Q1 — relational operators (the paper's future-work step).
+
+Not a paper figure: this validates the extension layer built on the
+same substrate — the distribution-aware equi-join (TreeIntersect
+generalized to keyed tuples) and group-by aggregation with local
+pre-aggregation.  Claims checked:
+
+* the join stays within a constant of the Theorem 1 bound applied to
+  tuple counts, on skewed placements over heterogeneous trees;
+* pre-aggregation (the combiner) reduces the aggregation cost by the
+  tuples-per-group factor on low-cardinality keys.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import record_table
+from repro.data.distribution import Distribution
+from repro.data.generators import place_zipf
+from repro.queries.aggregate import tree_groupby_aggregate
+from repro.queries.join import equijoin_lower_bound, tree_equijoin
+from repro.queries.tuples import encode_tuples
+from repro.topology.builders import two_level
+
+NUM_FACT = 30_000
+KEY_SPACES = (8, 64, 512, 4_096)
+
+
+def _fact_distribution(tree, key_space: int, seed: int) -> Distribution:
+    nodes = tree.left_to_right_compute_order()
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, key_space, size=NUM_FACT)
+    values = rng.integers(1, 100, size=NUM_FACT)
+    encoded = encode_tuples(keys, values, payload_bits=32)
+    sizes = place_zipf(NUM_FACT, nodes, exponent=1.0)
+    placements: dict = {}
+    offset = 0
+    for node in nodes:
+        placements[node] = {"R": encoded[offset : offset + sizes[node]]}
+        offset += sizes[node]
+    return placements, keys
+
+
+@pytest.mark.benchmark(group="queries")
+def test_groupby_combiner_effect(benchmark):
+    tree = two_level([4, 4], leaf_bandwidth=2.0, uplink_bandwidth=1.0)
+
+    def sweep():
+        rows = []
+        for key_space in KEY_SPACES:
+            placements, _ = _fact_distribution(tree, key_space, seed=7)
+            dist = Distribution(placements)
+            combined = tree_groupby_aggregate(
+                tree, dist, op="sum", seed=1, payload_bits=32
+            )
+            raw = tree_groupby_aggregate(
+                tree, dist, op="sum", seed=1, payload_bits=32,
+                pre_aggregate=False,
+            )
+            rows.append((key_space, combined, raw))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = []
+    for key_space, combined, raw in rows:
+        merged_a: dict = {}
+        merged_b: dict = {}
+        for output in combined.outputs.values():
+            merged_a.update(output)
+        for output in raw.outputs.values():
+            merged_b.update(output)
+        assert merged_a == merged_b  # identical answers
+        table.append(
+            [
+                key_space,
+                f"{combined.cost:.0f}",
+                f"{raw.cost:.0f}",
+                f"{raw.cost / max(combined.cost, 1):.1f}x",
+            ]
+        )
+    record_table(
+        f"Queries — combiner effect on group-by ({NUM_FACT} tuples)",
+        ["distinct keys", "pre-aggregated cost", "raw cost", "saving"],
+        table,
+    )
+    # Fewer groups -> bigger combiner wins; monotone across the sweep.
+    savings = [raw.cost / max(combined.cost, 1) for _, combined, raw in rows]
+    assert savings[0] > savings[-1]
+    assert savings[0] >= 5.0
+
+
+@pytest.mark.benchmark(group="queries")
+def test_join_tracks_theorem1(benchmark):
+    tree = two_level(
+        [4, 4], leaf_bandwidth=[4.0, 1.0], uplink_bandwidth=1.0
+    )
+    nodes = tree.left_to_right_compute_order()
+    rng = np.random.default_rng(11)
+    r_keys = rng.integers(0, 2_000, size=2_000)
+    s_keys = rng.integers(0, 2_000, size=20_000)
+    r_encoded = encode_tuples(r_keys, rng.integers(0, 100, 2_000))
+    s_encoded = encode_tuples(s_keys, rng.integers(0, 100, 20_000))
+    placements: dict = {}
+    r_sizes = place_zipf(len(r_encoded), nodes, exponent=1.0)
+    s_sizes = place_zipf(len(s_encoded), nodes, exponent=0.5)
+    r_off = s_off = 0
+    for node in nodes:
+        placements[node] = {
+            "R": r_encoded[r_off : r_off + r_sizes[node]],
+            "S": s_encoded[s_off : s_off + s_sizes[node]],
+        }
+        r_off += r_sizes[node]
+        s_off += s_sizes[node]
+    dist = Distribution(placements)
+
+    result = benchmark.pedantic(
+        lambda: tree_equijoin(tree, dist, seed=3), rounds=2, iterations=1
+    )
+    bound = equijoin_lower_bound(tree, dist)
+    assert result.rounds == 1
+    assert result.cost <= 6 * bound.value
+    produced = sum(o["num_pairs"] for o in result.outputs.values())
+    expected = sum(
+        int(np.sum(s_keys == k)) for k in np.unique(r_keys)
+        for _ in range(int(np.sum(r_keys == k)))
+    )
+    assert produced == expected
+    benchmark.extra_info["cost"] = result.cost
+    benchmark.extra_info["bound"] = bound.value
+    benchmark.extra_info["join_rows"] = produced

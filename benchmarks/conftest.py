@@ -1,0 +1,35 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark validates one quantitative claim of the paper (see the
+experiment index in DESIGN.md) and records a human-readable result table.
+The tables are printed in the terminal summary so that
+``pytest benchmarks/ --benchmark-only`` produces, alongside the timing
+table, the model-cost numbers the paper's Table 1 and Figures 1-5 are
+about.  EXPERIMENTS.md is the curated record of these outputs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.util.text import render_table
+
+_RECORDED: list[str] = []
+
+
+def record_table(
+    title: str, headers: Sequence[str], rows: Sequence[Sequence]
+) -> None:
+    """Register a result table to be printed after the run."""
+    _RECORDED.append(render_table(headers, rows, title=title))
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _RECORDED:
+        return
+    terminalreporter.section("paper reproduction results")
+    for table in _RECORDED:
+        terminalreporter.write_line("")
+        for line in table.splitlines():
+            terminalreporter.write_line(line)
+    _RECORDED.clear()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Distributed join on a fat tree: topology-aware vs MPC-style hashing.
+
+The motivating scenario from the paper's introduction: a join (here, its
+communication core — set intersection) runs on a datacenter fat tree
+whose upper links are oversubscribed, with the build side much smaller
+than the probe side and data skewed across racks.  The classic MPC
+approach hashes both relations uniformly across all machines; the
+paper's TreeIntersect instead replicates the small relation along the
+balanced partition and hashes the big one only within its own block.
+
+The script sweeps the oversubscription factor and prints both costs and
+the Theorem 1 lower bound — showing the topology-aware algorithm
+tracking the bound while the uniform hash join degrades with the
+network.
+
+Run:  python examples/datacenter_join.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.util.text import render_table
+
+
+def build_fat_tree(oversubscription: float) -> repro.TreeTopology:
+    """A 2-level, 3-ary fat tree; upper links carry 3/oversubscription."""
+    return repro.fat_tree(
+        2,
+        3,
+        leaf_bandwidth=1.0,
+        level_scale=3.0 / oversubscription,
+        name=f"fat-tree(os={oversubscription:g})",
+    )
+
+
+def main() -> None:
+    rows = []
+    for oversubscription in (1.0, 2.0, 4.0, 8.0):
+        tree = build_fat_tree(oversubscription)
+        dist = repro.random_distribution(
+            tree,
+            r_size=1_000,       # small build side
+            s_size=20_000,      # large probe side
+            intersection_size=400,
+            policy="zipf",
+            seed=11,
+        )
+        bound = repro.intersection_lower_bound(tree, dist)
+        aware = repro.tree_intersect(tree, dist, seed=3)
+        agnostic = repro.uniform_hash_intersect(tree, dist, seed=3)
+        rows.append(
+            [
+                f"{oversubscription:g}x",
+                bound.value,
+                aware.cost,
+                agnostic.cost,
+                agnostic.cost / aware.cost,
+            ]
+        )
+    print(
+        render_table(
+            [
+                "oversubscription",
+                "Theorem 1 bound",
+                "TreeIntersect",
+                "uniform hash",
+                "speedup",
+            ],
+            rows,
+            title="Join communication cost on an oversubscribed fat tree "
+            "(|R|=1k, |S|=20k, zipf placement)",
+        )
+    )
+    print()
+    print(
+        "TreeIntersect stays within a small factor of the lower bound at "
+        "every oversubscription level; uniform hashing pays the full "
+        "probe-side shuffle across the weakened core."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Sorting on a heterogeneous cluster: weighted vs classic TeraSort.
+
+A mixed cluster — one rack of fast machines on 4x links, one rack of
+slow ones on 1x links — holds data proportionally to machine capability.
+Classic TeraSort splits the key space evenly, forcing the slow machines
+to absorb as much data as the fast ones; the paper's weighted TeraSort
+(Section 5.2) splits proportionally to the data each heavy node holds
+and moves light nodes' data with Algorithm 6.
+
+The script also reruns both protocols on the adversarial rank-interleaved
+placement from the Theorem 6 proof (Figure 5), where the lower bound is
+tight, and prints cost/bound ratios.
+
+Run:  python examples/heterogeneous_sort.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.util.text import render_table
+
+
+def main() -> None:
+    tree = repro.two_level(
+        [4, 4],
+        leaf_bandwidth=[4.0, 1.0],
+        uplink_bandwidth=[4.0, 1.0],
+        name="mixed-racks",
+    )
+    print(repro.ascii_tree(tree))
+    print()
+
+    total = 40_000
+    nodes = tree.left_to_right_compute_order()
+    uplink = {v: tree.bandwidth(v, tree.neighbors(v)[0]) for v in nodes}
+
+    scenarios = {
+        "capability-proportional": repro.distribute(
+            repro.make_sort_input(total, seed=5),
+            repro.place_proportional(total, nodes, uplink),
+            tag="R",
+            shuffle_seed=6,
+        ),
+        "adversarial (Thm 6)": repro.adversarial_sorted_distribution(
+            tree, total=total
+        ),
+    }
+
+    rows = []
+    for name, dist in scenarios.items():
+        bound = repro.sorting_lower_bound(tree, dist)
+        wts = repro.run_sorting(tree, dist, protocol="wts", seed=2,
+                                placement=name)
+        classic = repro.run_sorting(tree, dist, protocol="terasort", seed=2,
+                                    placement=name)
+        rows.append(
+            [
+                name,
+                bound.value,
+                wts.cost,
+                f"{wts.ratio:.2f}",
+                classic.cost,
+                f"{classic.ratio:.2f}",
+            ]
+        )
+    print(
+        render_table(
+            [
+                "placement",
+                "Theorem 6 bound",
+                "wTS cost",
+                "wTS ratio",
+                "TeraSort cost",
+                "TeraSort ratio",
+            ],
+            rows,
+            title=f"Sorting {total} elements on mixed racks (4 rounds, w.h.p.)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

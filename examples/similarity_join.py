@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""A θ-join via cartesian product: weighted vs classic HyperCube.
+
+Similarity joins, θ-joins and set-containment joins all reduce to
+enumerating the cartesian product and filtering pairs locally
+(Section 4's motivation).  This example runs a band-similarity join
+``|r - s| <= τ`` on a star of machines with very different link speeds:
+the weighted HyperCube gives each machine a grid square proportional to
+its bandwidth (equation (1)), while the classic HyperCube's equal
+squares make the slowest link the bottleneck.
+
+Run:  python examples/similarity_join.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.util.text import render_table
+
+TAU = 50  # similarity threshold
+
+
+def count_similar_pairs(result) -> int:
+    """Filter each node's assigned grid tile by the similarity predicate."""
+    matches = 0
+    for output in result.outputs.values():
+        if "pairs" in output:
+            pairs = output["pairs"]
+            matches += int(np.sum(np.abs(pairs[:, 0] - pairs[:, 1]) <= TAU))
+    return matches
+
+
+def main() -> None:
+    tree = repro.star(
+        6, bandwidth=[16.0, 8.0, 4.0, 2.0, 1.0, 1.0], name="hetero-star"
+    )
+    size = 600
+    rng = np.random.default_rng(4)
+    r_values = rng.choice(100_000, size=size, replace=False).astype(np.int64)
+    s_values = rng.choice(100_000, size=size, replace=False).astype(np.int64)
+    nodes = tree.left_to_right_compute_order()
+    dist = repro.Distribution(
+        {
+            node: {
+                "R": chunk_r,
+                "S": chunk_s,
+            }
+            for node, chunk_r, chunk_s in zip(
+                nodes,
+                np.array_split(r_values, len(nodes)),
+                np.array_split(s_values, len(nodes)),
+            )
+        }
+    )
+
+    bound = repro.cartesian_lower_bound(tree, dist)
+    weighted = repro.star_cartesian_product(tree, dist, materialize=True)
+    classic = repro.classic_hypercube_cartesian_product(
+        tree, dist, materialize=True
+    )
+
+    truth = int(
+        np.sum(np.abs(r_values[:, None] - s_values[None, :]) <= TAU)
+    )
+    for name, result in (("wHC", weighted), ("classic HC", classic)):
+        found = count_similar_pairs(result)
+        assert found == truth, f"{name}: {found} != {truth}"
+
+    rows = [
+        ["weighted HyperCube", weighted.cost, weighted.cost / bound.value],
+        ["classic HyperCube", classic.cost, classic.cost / bound.value],
+    ]
+    print(
+        render_table(
+            ["protocol", "cost", "ratio vs bound"],
+            rows,
+            title=(
+                f"Similarity join |r-s|<={TAU} on {tree.name} "
+                f"(|R|=|S|={size}, {truth} matching pairs, both exact)"
+            ),
+        )
+    )
+    print()
+    square_dims = weighted.meta.get("dims", {})
+    if square_dims:
+        print("wHC square dimension per node (proportional to bandwidth):")
+        for node in nodes:
+            bandwidth = tree.bandwidth(node, "w")
+            print(f"  {node}: bandwidth {bandwidth:4g} -> square {square_dims[node]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,178 @@
+"""topoMPC — topology-aware massively parallel computation.
+
+A faithful, executable reproduction of *"Algorithms for a Topology-aware
+Massively Parallel Computation Model"* (Hu, Koutris, Blanas — PODS 2021):
+the cost model of Blanas et al. as a simulator, the paper's algorithms
+and lower bounds for set intersection, cartesian product and sorting on
+symmetric tree networks, topology-agnostic baselines, and an experiment
+harness.
+
+Quick start::
+
+    import repro
+
+    tree = repro.two_level([4, 4], uplink_bandwidth=2.0)
+    dist = repro.random_distribution(tree, r_size=1_000, s_size=5_000,
+                                     policy="zipf", seed=0)
+    report = repro.run_intersection(tree, dist)
+    print(report.cost, report.lower_bound, report.ratio)
+
+See ``examples/`` for complete scenarios and DESIGN.md for the module map.
+"""
+
+from repro.errors import (
+    AnalysisError,
+    DistributionError,
+    PackingError,
+    ProtocolError,
+    ReproError,
+    TopologyError,
+)
+from repro.topology import (
+    Dagger,
+    PathOracle,
+    TreeTopology,
+    ascii_tree,
+    build_dagger,
+    caterpillar,
+    fat_tree,
+    from_parent_map,
+    mpc_star,
+    normalize,
+    optimal_cover,
+    random_tree,
+    star,
+    two_level,
+)
+from repro.data import (
+    Distribution,
+    adversarial_sorted_distribution,
+    distribute,
+    make_set_pair,
+    make_sort_input,
+    place_proportional,
+    place_single_heavy,
+    place_uniform,
+    place_zipf,
+    random_distribution,
+)
+from repro.sim import Cluster, CostLedger, ProtocolResult
+from repro.core.common import LowerBound
+from repro.core.intersection import (
+    balanced_partition,
+    intersection_lower_bound,
+    star_intersect,
+    tree_intersect,
+)
+from repro.core.cartesian import (
+    cartesian_lower_bound,
+    generalized_star_cartesian_product,
+    unequal_cartesian_lower_bound,
+    star_cartesian_product,
+    tree_cartesian_product,
+    whc_cartesian_product,
+)
+from repro.core.sorting import (
+    sorting_lower_bound,
+    terasort,
+    verify_sorted_output,
+    weighted_terasort,
+)
+from repro.baselines import (
+    classic_hypercube_cartesian_product,
+    gather_cartesian_product,
+    gather_intersect,
+    gather_sort,
+    uniform_hash_intersect,
+)
+from repro.queries import (
+    decode_tuples,
+    encode_tuples,
+    equijoin_lower_bound,
+    tree_equijoin,
+    tree_groupby_aggregate,
+)
+from repro.analysis import (
+    RunReport,
+    run_cartesian,
+    run_intersection,
+    run_sorting,
+    summarize_reports,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "TopologyError",
+    "DistributionError",
+    "ProtocolError",
+    "PackingError",
+    "AnalysisError",
+    # topology
+    "TreeTopology",
+    "star",
+    "mpc_star",
+    "two_level",
+    "fat_tree",
+    "caterpillar",
+    "random_tree",
+    "from_parent_map",
+    "normalize",
+    "build_dagger",
+    "optimal_cover",
+    "Dagger",
+    "PathOracle",
+    "ascii_tree",
+    # data
+    "Distribution",
+    "make_set_pair",
+    "make_sort_input",
+    "distribute",
+    "place_uniform",
+    "place_zipf",
+    "place_single_heavy",
+    "place_proportional",
+    "random_distribution",
+    "adversarial_sorted_distribution",
+    # simulator
+    "Cluster",
+    "CostLedger",
+    "ProtocolResult",
+    "LowerBound",
+    # algorithms
+    "intersection_lower_bound",
+    "star_intersect",
+    "tree_intersect",
+    "balanced_partition",
+    "cartesian_lower_bound",
+    "star_cartesian_product",
+    "tree_cartesian_product",
+    "whc_cartesian_product",
+    "generalized_star_cartesian_product",
+    "unequal_cartesian_lower_bound",
+    "sorting_lower_bound",
+    "terasort",
+    "weighted_terasort",
+    "verify_sorted_output",
+    # baselines
+    "uniform_hash_intersect",
+    "classic_hypercube_cartesian_product",
+    "gather_intersect",
+    "gather_sort",
+    "gather_cartesian_product",
+    # relational operators (the paper's future-work direction)
+    "encode_tuples",
+    "decode_tuples",
+    "tree_equijoin",
+    "equijoin_lower_bound",
+    "tree_groupby_aggregate",
+    # analysis
+    "RunReport",
+    "run_intersection",
+    "run_cartesian",
+    "run_sorting",
+    "summarize_reports",
+]

@@ -1,0 +1,143 @@
+"""Command-line entry point: reproduce the paper's results from a shell.
+
+Usage::
+
+    python -m repro table1              # the Table 1 suite
+    python -m repro compare             # topology-aware vs baselines
+    python -m repro topology            # draw the builder topologies
+    python -m repro table1 --r-size 2000 --s-size 2000 --seed 7
+
+Each command prints the same plain-text tables the benchmark harness
+records, so the headline claims can be checked without pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.report import aggregate, summarize_reports
+from repro.analysis.runner import run_cartesian, run_intersection, run_sorting
+from repro.analysis.suites import instance_grid, standard_topologies
+from repro.data.generators import random_distribution
+from repro.topology.builders import star, two_level
+from repro.topology.render import ascii_tree
+from repro.util.text import render_table
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    reports = []
+    for tree, policy, dist in instance_grid(
+        r_size=args.r_size, s_size=args.s_size, seed=args.seed
+    ):
+        reports.append(
+            run_intersection(tree, dist, placement=policy, seed=args.seed)
+        )
+        reports.append(run_cartesian(tree, dist, placement=policy))
+        reports.append(
+            run_sorting(tree, dist, placement=policy, seed=args.seed)
+        )
+    if args.verbose:
+        print(summarize_reports(reports, title="All runs"))
+        print()
+    summary = aggregate(reports)
+    rows = [
+        [
+            task,
+            stats["runs"],
+            stats["max_rounds"],
+            f"{stats['max_ratio']:.2f}",
+            f"{stats['mean_ratio']:.2f}",
+        ]
+        for task, stats in summary.items()
+    ]
+    print(
+        render_table(
+            ["task", "runs", "max rounds", "max ratio", "mean ratio"],
+            rows,
+            title=(
+                "Table 1 reproduction "
+                f"(|R|={args.r_size}, |S|={args.s_size}, seed={args.seed})"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    tree = two_level(
+        [4, 4],
+        leaf_bandwidth=[8.0, 1.0],
+        uplink_bandwidth=[8.0, 1.0],
+        name="hetero two-level",
+    )
+    dist = random_distribution(
+        tree,
+        r_size=args.r_size,
+        s_size=args.s_size,
+        policy="proportional",
+        seed=args.seed,
+    )
+    rows = []
+    for task, aware_protocol, base_protocol, runner in (
+        ("intersection", "tree", "uniform-hash", run_intersection),
+        ("cartesian", "tree", "classic-hypercube", run_cartesian),
+        ("sorting", "wts", "terasort", run_sorting),
+    ):
+        kwargs = {"seed": args.seed} if task != "cartesian" else {}
+        aware = runner(tree, dist, protocol=aware_protocol, **kwargs)
+        base = runner(tree, dist, protocol=base_protocol, **kwargs)
+        rows.append(
+            [
+                task,
+                f"{aware.cost:.0f}",
+                f"{base.cost:.0f}",
+                f"{base.cost / aware.cost:.2f}x",
+            ]
+        )
+    print(
+        render_table(
+            ["task", "topology-aware", "MPC-style baseline", "speedup"],
+            rows,
+            title=f"Head-to-head on {tree.name} "
+            f"(|R|={args.r_size}, |S|={args.s_size})",
+        )
+    )
+    return 0
+
+
+def _cmd_topology(args: argparse.Namespace) -> int:
+    for tree in standard_topologies(include_random=False):
+        print(f"== {tree.name} ==")
+        print(ascii_tree(tree))
+        print()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Topology-aware MPC reproduction (PODS 2021)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--r-size", type=int, default=2_000)
+    parser.add_argument("--s-size", type=int, default=2_000)
+    parser.add_argument(
+        "--verbose", action="store_true", help="print per-instance rows"
+    )
+    parser.add_argument(
+        "command",
+        choices=["table1", "compare", "topology"],
+        help="which reproduction to run",
+    )
+    args = parser.parse_args(argv)
+    handlers = {
+        "table1": _cmd_table1,
+        "compare": _cmd_compare,
+        "topology": _cmd_topology,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

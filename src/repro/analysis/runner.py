@@ -1,0 +1,177 @@
+"""One-call experiment runners for the three tasks.
+
+Each runner executes a named protocol on a (topology, distribution)
+instance, computes the matching lower bound, verifies task correctness
+(the reproduction never reports cost for a wrong answer), and returns a
+:class:`~repro.analysis.report.RunReport`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable
+
+import numpy as np
+
+from repro.analysis.report import RunReport
+from repro.baselines.gather import (
+    gather_cartesian_product,
+    gather_intersect,
+    gather_sort,
+)
+from repro.baselines.hypercube import classic_hypercube_cartesian_product
+from repro.baselines.uniform_hash import uniform_hash_intersect
+from repro.core.cartesian import (
+    cartesian_lower_bound,
+    star_cartesian_product,
+    tree_cartesian_product,
+)
+from repro.core.intersection import (
+    intersection_lower_bound,
+    star_intersect,
+    tree_intersect,
+)
+from repro.core.sorting import (
+    sorting_lower_bound,
+    terasort,
+    verify_sorted_output,
+    weighted_terasort,
+)
+from repro.data.distribution import Distribution
+from repro.errors import AnalysisError, ProtocolError
+from repro.topology.tree import TreeTopology
+
+INTERSECTION_PROTOCOLS: dict[str, Callable] = {
+    "tree": tree_intersect,
+    "star": star_intersect,
+    "uniform-hash": uniform_hash_intersect,
+    "gather": gather_intersect,
+}
+
+CARTESIAN_PROTOCOLS: dict[str, Callable] = {
+    "tree": tree_cartesian_product,
+    "star": star_cartesian_product,
+    "classic-hypercube": classic_hypercube_cartesian_product,
+    "gather": gather_cartesian_product,
+}
+
+SORTING_PROTOCOLS: dict[str, Callable] = {
+    "wts": weighted_terasort,
+    "terasort": terasort,
+    "gather": gather_sort,
+}
+
+
+def _resolve(registry: dict[str, Callable], protocol: str) -> Callable:
+    try:
+        return registry[protocol]
+    except KeyError:
+        raise AnalysisError(
+            f"unknown protocol {protocol!r}; choose from {sorted(registry)}"
+        ) from None
+
+
+def run_intersection(
+    tree: TreeTopology,
+    distribution: Distribution,
+    *,
+    protocol: str = "tree",
+    seed: int = 0,
+    placement: str = "custom",
+    verify: bool = True,
+) -> RunReport:
+    """Run a set-intersection protocol; verify the output equals ``R ∩ S``."""
+    runner = _resolve(INTERSECTION_PROTOCOLS, protocol)
+    kwargs = {"seed": seed} if protocol in ("tree", "star", "uniform-hash") else {}
+    result = runner(tree, distribution, **kwargs)
+    if verify:
+        expected = np.intersect1d(
+            distribution.relation("R"), distribution.relation("S")
+        )
+        found = (
+            np.unique(np.concatenate(list(result.outputs.values())))
+            if result.outputs
+            else np.empty(0, np.int64)
+        )
+        if len(found) != len(expected) or np.any(found != expected):
+            raise ProtocolError(
+                f"{result.protocol} produced a wrong intersection "
+                f"({len(found)} vs {len(expected)} elements)"
+            )
+    bound = intersection_lower_bound(tree, distribution)
+    return RunReport(
+        task="set-intersection",
+        protocol=result.protocol,
+        topology=tree.name,
+        placement=placement,
+        input_size=distribution.total(),
+        rounds=result.rounds,
+        cost=result.cost,
+        lower_bound=bound.value,
+        meta={"result": result.meta, "bound": bound.description},
+    )
+
+
+def run_cartesian(
+    tree: TreeTopology,
+    distribution: Distribution,
+    *,
+    protocol: str = "tree",
+    placement: str = "custom",
+    verify: bool = True,
+) -> RunReport:
+    """Run a cartesian-product protocol; verify all pairs are enumerated."""
+    runner = _resolve(CARTESIAN_PROTOCOLS, protocol)
+    result = runner(tree, distribution)
+    if verify:
+        expected = distribution.total("R") * distribution.total("S")
+        produced = sum(o["num_pairs"] for o in result.outputs.values())
+        if produced != expected:
+            raise ProtocolError(
+                f"{result.protocol} enumerated {produced} of {expected} pairs"
+            )
+    bound = cartesian_lower_bound(tree, distribution)
+    return RunReport(
+        task="cartesian-product",
+        protocol=result.protocol,
+        topology=tree.name,
+        placement=placement,
+        input_size=distribution.total(),
+        rounds=result.rounds,
+        cost=result.cost,
+        lower_bound=bound.value,
+        meta={"result": result.meta, "bound": bound.description},
+    )
+
+
+def run_sorting(
+    tree: TreeTopology,
+    distribution: Distribution,
+    *,
+    protocol: str = "wts",
+    seed: int = 0,
+    placement: str = "custom",
+    verify: bool = True,
+) -> RunReport:
+    """Run a sorting protocol; verify the output is a valid sorted layout."""
+    runner = _resolve(SORTING_PROTOCOLS, protocol)
+    kwargs = {"seed": seed} if protocol in ("wts", "terasort") else {}
+    result = runner(tree, distribution, **kwargs)
+    if verify:
+        verify_sorted_output(
+            tree,
+            result.outputs,
+            result.meta["order"],
+            distribution.relation("R"),
+        )
+    bound = sorting_lower_bound(tree, distribution)
+    return RunReport(
+        task="sorting",
+        protocol=result.protocol,
+        topology=tree.name,
+        placement=placement,
+        input_size=distribution.total(),
+        rounds=result.rounds,
+        cost=result.cost,
+        lower_bound=bound.value,
+        meta={"result": result.meta, "bound": bound.description},
+    )

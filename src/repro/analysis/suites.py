@@ -1,0 +1,74 @@
+"""Standard topology/placement suites the benchmarks sweep.
+
+The Table 1 claims are "for every symmetric tree and every initial
+placement"; the suite approximates that universal quantifier with the
+topology families the paper names (star, two-level tree, fat tree —
+Section 2.1 — plus a caterpillar for diameter stress and seeded random
+trees) crossed with the placement regimes the analyses distinguish
+(uniform, Zipf-skewed, one dominant node, bandwidth-proportional).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.data.distribution import Distribution
+from repro.data.generators import random_distribution
+from repro.topology.builders import (
+    caterpillar,
+    fat_tree,
+    random_tree,
+    star,
+    two_level,
+)
+from repro.topology.normalize import normalize
+from repro.topology.tree import TreeTopology
+
+
+def standard_topologies(*, include_random: bool = True) -> list[TreeTopology]:
+    """The benchmark topology family (all symmetric, finite bandwidths)."""
+    topologies = [
+        star(8, name="star-uniform(8)"),
+        star(8, bandwidth=[1, 1, 2, 2, 4, 4, 8, 8], name="star-hetero(8)"),
+        two_level([4, 4], uplink_bandwidth=2.0, name="two-level(4,4)"),
+        two_level(
+            [2, 4, 6],
+            leaf_bandwidth=[4.0, 2.0, 1.0],
+            uplink_bandwidth=[2.0, 2.0, 2.0],
+            name="two-level-skewed(2,4,6)",
+        ),
+        fat_tree(2, 3, leaf_bandwidth=1.0, level_scale=2.0),
+        caterpillar(4, 2, spine_bandwidth=2.0),
+    ]
+    if include_random:
+        for seed in (11, 23):
+            topologies.append(
+                normalize(
+                    random_tree(12, seed=seed), virtual_bandwidth="sum"
+                ).tree
+            )
+    return topologies
+
+
+def placement_policies() -> list[str]:
+    """The placement regimes crossed with every topology."""
+    return ["uniform", "zipf", "single-heavy", "proportional"]
+
+
+def instance_grid(
+    *,
+    r_size: int,
+    s_size: int,
+    seed: int = 0,
+    include_random: bool = True,
+) -> Iterable[tuple[TreeTopology, str, Distribution]]:
+    """Yield ``(topology, policy, distribution)`` across the full suite."""
+    for tree in standard_topologies(include_random=include_random):
+        for policy in placement_policies():
+            yield tree, policy, random_distribution(
+                tree,
+                r_size=r_size,
+                s_size=s_size,
+                policy=policy,
+                seed=seed,
+            )

@@ -1,0 +1,59 @@
+"""Uniform-hash intersection: the classic MPC distributed hash join.
+
+Every element of both relations is hashed uniformly at random across all
+compute nodes, ignoring topology, bandwidth, and placement — the strategy
+every MPC-model algorithm builds on [7, 29].  Single round; on a uniform
+star it matches TreeIntersect, but a slow or data-light node receives
+``N / |V_C|`` elements regardless of its link, which the benchmarks show
+losing by the bandwidth/skew spread.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.distribution import Distribution
+from repro.sim.cluster import Cluster
+from repro.sim.protocol import ProtocolResult
+from repro.topology.tree import TreeTopology, node_sort_key
+from repro.util.hashing import WeightedNodeHasher
+from repro.util.seeding import derive_seed
+
+_R_RECV = "intersect.R.recv"
+_S_RECV = "intersect.S.recv"
+
+
+def uniform_hash_intersect(
+    tree: TreeTopology,
+    distribution: Distribution,
+    *,
+    seed: int = 0,
+    r_tag: str = "R",
+    s_tag: str = "S",
+    bits_per_element: int = 64,
+) -> ProtocolResult:
+    """Hash-join both relations uniformly over all compute nodes."""
+    distribution.validate_for(tree)
+    computes = sorted(tree.compute_nodes, key=node_sort_key)
+    hasher = WeightedNodeHasher(
+        computes, [1.0] * len(computes), derive_seed(seed, "uniform-hash")
+    )
+    cluster = Cluster(tree, distribution, bits_per_element=bits_per_element)
+    with cluster.round() as ctx:
+        for node in computes:
+            for tag, recv in ((r_tag, _R_RECV), (s_tag, _S_RECV)):
+                local = cluster.local(node, tag)
+                if not len(local):
+                    continue
+                targets = hasher.assign_indices(local)
+                for index in np.unique(targets):
+                    ctx.send(
+                        node, computes[index], local[targets == index], tag=recv
+                    )
+    outputs = {
+        v: np.intersect1d(cluster.local(v, _R_RECV), cluster.local(v, _S_RECV))
+        for v in computes
+    }
+    return ProtocolResult.from_ledger(
+        "uniform-hash-intersect", cluster.ledger, outputs=outputs
+    )

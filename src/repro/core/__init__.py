@@ -1,0 +1,9 @@
+"""The paper's primary contribution: algorithms and lower bounds for
+set intersection (Section 3), cartesian product (Section 4) and sorting
+(Section 5) on symmetric tree topologies, all parameterised by the
+initial data placement.
+"""
+
+from repro.core.common import LowerBound
+
+__all__ = ["LowerBound"]

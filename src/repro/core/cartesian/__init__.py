@@ -1,0 +1,54 @@
+"""Cartesian product on symmetric trees (Section 4).
+
+The task: enumerate all of ``R x S`` across the compute nodes.  Each
+output pair is a cell of the ``|R| x |S|`` grid; the algorithms assign
+every compute node a power-of-two *square* of the grid sized in
+proportion to its link bandwidth (the weighted HyperCube of Section 4.2,
+generalized to trees by Algorithm 5), so that each node receives data
+proportional to what its links can carry.  Two lower bounds certify
+optimality: a flow bound per link (Theorem 3) and a counting bound over
+minimal covers of the oriented tree G-dagger (Theorem 4).
+"""
+
+from repro.core.cartesian.lower_bounds import (
+    cartesian_lower_bound,
+    cartesian_lower_bound_cover,
+    cartesian_lower_bound_flow,
+)
+from repro.core.cartesian.grid import GridLabeling
+from repro.core.cartesian.packing import Tile, merge_pool, pack_by_dagger, pack_flat
+from repro.core.cartesian.tree_packing import TreePackingPlan, balanced_packing_tree
+from repro.core.cartesian.whc import whc_cartesian_product, whc_dimensions
+from repro.core.cartesian.star import star_cartesian_product
+from repro.core.cartesian.unequal import (
+    balanced_packing_unequal,
+    generalized_star_cartesian_product,
+    l_star,
+    unequal_cartesian_lower_bound,
+    unequal_lower_bound_counting,
+    unequal_lower_bound_flow,
+)
+from repro.core.cartesian.tree import tree_cartesian_product
+
+__all__ = [
+    "cartesian_lower_bound",
+    "cartesian_lower_bound_flow",
+    "cartesian_lower_bound_cover",
+    "GridLabeling",
+    "Tile",
+    "merge_pool",
+    "pack_by_dagger",
+    "pack_flat",
+    "TreePackingPlan",
+    "balanced_packing_tree",
+    "whc_dimensions",
+    "whc_cartesian_product",
+    "star_cartesian_product",
+    "l_star",
+    "balanced_packing_unequal",
+    "generalized_star_cartesian_product",
+    "unequal_cartesian_lower_bound",
+    "unequal_lower_bound_flow",
+    "unequal_lower_bound_counting",
+    "tree_cartesian_product",
+]

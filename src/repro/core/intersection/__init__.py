@@ -1,0 +1,32 @@
+"""Set intersection on symmetric trees (Section 3).
+
+The task: given sets ``R`` and ``S`` partitioned across the compute
+nodes, emit every common element at some node.  The section proves a
+per-link lower bound via lopsided set disjointness (Theorem 1) and gives
+single-round randomized hashing algorithms matching it up to an
+``O(log N log |V|)`` factor: Algorithm 1 for stars and Algorithm 2 for
+general trees, the latter built on the *balanced partition* of the
+compute nodes (Definition 1, Algorithm 3).
+"""
+
+from repro.core.intersection.lower_bound import intersection_lower_bound
+from repro.core.intersection.partition import (
+    EdgeClassification,
+    balanced_partition,
+    block_spanning_edges,
+    classify_edges,
+    verify_balanced_partition,
+)
+from repro.core.intersection.star import star_intersect
+from repro.core.intersection.tree import tree_intersect
+
+__all__ = [
+    "intersection_lower_bound",
+    "EdgeClassification",
+    "classify_edges",
+    "balanced_partition",
+    "verify_balanced_partition",
+    "block_spanning_edges",
+    "star_intersect",
+    "tree_intersect",
+]

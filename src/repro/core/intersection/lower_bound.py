@@ -1,0 +1,43 @@
+"""The set-intersection lower bound (Theorem 1).
+
+For every link ``e`` of a symmetric tree, any algorithm computing
+``R ∩ S`` must pay at least
+
+    (1 / w_e) * min(|R|, |S|, sum_{v in V-e} N_v, sum_{v in V+e} N_v)
+
+because the data on the two sides of ``e`` forms a two-party lopsided
+set-disjointness instance whose only channel is ``e``.  The bound is the
+maximum over links, holds for any number of rounds, and is expressed here
+in element units (the paper states it in bits; both sides of every ratio
+we report scale by the same bits-per-element factor).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.common import LowerBound
+from repro.data.distribution import Distribution
+from repro.topology.tree import TreeTopology
+
+
+def intersection_lower_bound(
+    tree: TreeTopology,
+    distribution: Distribution,
+    *,
+    r_tag: str = "R",
+    s_tag: str = "S",
+) -> LowerBound:
+    """Instantiate Theorem 1 for one topology and placement."""
+    tree.require_symmetric("the Theorem 1 lower bound")
+    r_total = distribution.total(r_tag)
+    s_total = distribution.total(s_tag)
+    sizes = {
+        v: distribution.size(v, r_tag) + distribution.size(v, s_tag)
+        for v in tree.compute_nodes
+    }
+    per_edge: dict = {}
+    for edge, (minus, plus) in tree.side_weights(sizes).items():
+        bandwidth = tree.undirected_bandwidth(edge)
+        per_edge[edge] = min(r_total, s_total, minus, plus) / bandwidth
+    return LowerBound.from_per_edge(per_edge, "Theorem 1 (set intersection)")

@@ -1,0 +1,121 @@
+"""StarIntersect (Algorithm 1): single-round intersection on a star.
+
+The compute nodes split into ``Vα`` (nodes whose lighter link side is
+below ``|R|``) and ``Vβ`` (data-rich nodes).  Every ``Vβ`` node receives
+a full copy of the smaller relation ``R`` and joins it against its local
+``S`` fragment; everything else is a *weighted* distributed hash join —
+each value lands on node ``v`` with probability proportional to the data
+``v`` already holds (``N_v`` for ``Vα`` nodes, ``|R_v|`` for ``Vβ``
+nodes), which is what keeps each link within its Theorem 1 budget
+(Lemma 1: within ``O(log N log |V|)`` of optimal w.h.p.).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.distribution import Distribution
+from repro.errors import ProtocolError
+from repro.sim.cluster import Cluster
+from repro.sim.protocol import ProtocolResult
+from repro.topology.tree import TreeTopology, node_sort_key
+from repro.util.hashing import WeightedNodeHasher
+from repro.util.seeding import derive_seed
+
+_R_RECV = "intersect.R.recv"
+_S_RECV = "intersect.S.recv"
+
+
+def star_intersect(
+    tree: TreeTopology,
+    distribution: Distribution,
+    *,
+    seed: int = 0,
+    r_tag: str = "R",
+    s_tag: str = "S",
+    bits_per_element: int = 64,
+) -> ProtocolResult:
+    """Run Algorithm 1 and return outputs plus the model cost.
+
+    ``outputs[v]`` is the sorted array of common elements node ``v``
+    emitted; their union over nodes is exactly ``R ∩ S``.
+    """
+    tree.require_symmetric("StarIntersect")
+    if not tree.is_star():
+        raise ProtocolError(
+            f"StarIntersect needs a star topology, got {tree.name!r}; "
+            "use tree_intersect for general trees"
+        )
+    distribution.validate_for(tree)
+
+    # The analysis assumes |R| <= |S|; swap roles internally if needed.
+    swapped = distribution.total(r_tag) > distribution.total(s_tag)
+    small_tag, large_tag = (s_tag, r_tag) if swapped else (r_tag, s_tag)
+
+    computes = sorted(tree.compute_nodes, key=node_sort_key)
+    sizes = {
+        v: distribution.size(v, small_tag) + distribution.size(v, large_tag)
+        for v in computes
+    }
+    total = sum(sizes.values())
+    r_size = distribution.total(small_tag)
+
+    v_alpha = [v for v in computes if min(sizes[v], total - sizes[v]) < r_size]
+    v_beta = [v for v in computes if min(sizes[v], total - sizes[v]) >= r_size]
+    beta_set = frozenset(v_beta)
+
+    # Pr[h(a) = v] = N_v / N' on Vα and |R_v| / N' on Vβ, where
+    # N' = |R| + sum_{v in Vα} |S_v|.
+    weights = [
+        sizes[v] if v in set(v_alpha) else distribution.size(v, small_tag)
+        for v in computes
+    ]
+    hasher = (
+        WeightedNodeHasher(computes, weights, derive_seed(seed, "star-intersect"))
+        if sum(weights) > 0
+        else None
+    )
+
+    cluster = Cluster(tree, distribution, bits_per_element=bits_per_element)
+    with cluster.round() as ctx:
+        for v in computes:
+            r_local = cluster.local(v, small_tag)
+            if len(r_local) and hasher is not None:
+                targets = hasher.assign_indices(r_local)
+                for index in np.unique(targets):
+                    chunk = r_local[targets == index]
+                    destinations = beta_set | {computes[index]}
+                    ctx.multicast(v, destinations, chunk, tag=_R_RECV)
+            elif len(r_local) and beta_set:
+                ctx.multicast(v, beta_set, r_local, tag=_R_RECV)
+            if v not in beta_set and hasher is not None:
+                s_local = cluster.local(v, large_tag)
+                if len(s_local):
+                    targets = hasher.assign_indices(s_local)
+                    for index in np.unique(targets):
+                        ctx.send(
+                            v,
+                            computes[index],
+                            s_local[targets == index],
+                            tag=_S_RECV,
+                        )
+
+    outputs: dict = {}
+    for v in computes:
+        r_received = cluster.local(v, _R_RECV)
+        s_final = cluster.local(v, _S_RECV)
+        if v in beta_set:
+            s_final = np.concatenate([s_final, cluster.local(v, large_tag)])
+        outputs[v] = np.intersect1d(r_received, s_final)
+
+    return ProtocolResult.from_ledger(
+        "star-intersect",
+        cluster.ledger,
+        outputs=outputs,
+        meta={
+            "v_alpha": list(v_alpha),
+            "v_beta": list(v_beta),
+            "swapped_relations": swapped,
+            "small_relation_size": r_size,
+        },
+    )

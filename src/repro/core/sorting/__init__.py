@@ -1,0 +1,30 @@
+"""Sorting on symmetric trees (Section 5).
+
+The task: redistribute a totally ordered set ``R`` so that, along a valid
+left-to-right traversal order of the compute nodes, every node holds a
+sorted run and earlier nodes hold smaller elements.  Theorem 6 constructs
+an adversarial rank-interleaved initial placement forcing every link to
+carry a constant fraction of its lighter side; the weighted TeraSort
+protocol (wTS, Theorem 7) matches that bound within a constant factor in
+four rounds, by moving light nodes' data to heavy nodes proportionally
+(Algorithm 6), sampling splitters only on heavy nodes, and splitting the
+key space in proportion to the data each heavy node holds.
+"""
+
+from repro.core.sorting.ordering import (
+    is_valid_compute_order,
+    verify_sorted_output,
+)
+from repro.core.sorting.lower_bound import sorting_lower_bound
+from repro.core.sorting.proportional import proportional_quotas
+from repro.core.sorting.terasort import terasort
+from repro.core.sorting.wts import weighted_terasort
+
+__all__ = [
+    "is_valid_compute_order",
+    "verify_sorted_output",
+    "sorting_lower_bound",
+    "proportional_quotas",
+    "terasort",
+    "weighted_terasort",
+]

@@ -1,0 +1,36 @@
+"""The sorting lower bound (Theorem 6).
+
+For every link ``e``, there is an initial placement with the given
+per-node sizes — ranks interleaved odd/even across the traversal order,
+built by :func:`repro.data.generators.adversarial_sorted_distribution` —
+on which any correct sort must move ``Ω(min(sum_{V-e} N_v,
+sum_{V+e} N_v))`` elements across ``e``.  The bound is therefore a
+*distribution-size-aware worst case*: it is tight on the adversarial
+placement (the Figure 5 benchmark demonstrates this), while friendly
+placements (e.g. already sorted along the order) can of course be
+cheaper.  Units are elements (tuples), as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.common import LowerBound
+from repro.data.distribution import Distribution
+from repro.topology.tree import NodeId, TreeTopology
+
+
+def sorting_lower_bound(
+    tree: TreeTopology,
+    distribution: Distribution,
+    *,
+    tag: str = "R",
+) -> LowerBound:
+    """Instantiate Theorem 6 for one topology and per-node sizes."""
+    tree.require_symmetric("the Theorem 6 lower bound")
+    sizes = {v: distribution.size(v, tag) for v in tree.compute_nodes}
+    per_edge: dict = {}
+    for edge, (minus, plus) in tree.side_weights(sizes).items():
+        bandwidth = tree.undirected_bandwidth(edge)
+        per_edge[edge] = min(minus, plus) / bandwidth
+    return LowerBound.from_per_edge(per_edge, "Theorem 6 (sorting)")

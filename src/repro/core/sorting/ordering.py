@@ -1,0 +1,87 @@
+"""Valid compute-node orderings for sorting (Section 5).
+
+A *valid ordering* is any left-to-right traversal of the tree after
+rooting it arbitrarily.  The defining structural property — what the
+validators here check — is that the compute nodes of each side of every
+link occupy a contiguous stretch of the order (possibly wrapping, since
+re-rooting rotates the traversal).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ProtocolError
+from repro.topology.tree import NodeId, TreeTopology
+
+
+def _is_contiguous(positions: list[int]) -> bool:
+    if not positions:
+        return True
+    return max(positions) - min(positions) + 1 == len(positions)
+
+
+def is_valid_compute_order(tree: TreeTopology, order: Sequence[NodeId]) -> bool:
+    """True iff ``order`` is a left-to-right traversal of some rooting.
+
+    For every link, one side's compute nodes must form a contiguous
+    interval of the order (the other side is then a prefix plus a suffix,
+    which a rotation — i.e. a different root — makes contiguous too).
+    """
+    if set(order) != set(tree.compute_nodes) or len(order) != len(
+        set(order)
+    ):
+        return False
+    position = {node: i for i, node in enumerate(order)}
+    for edge in tree.undirected_edges():
+        minus, plus = tree.compute_sides(edge)
+        side_a = [position[v] for v in minus]
+        side_b = [position[v] for v in plus]
+        if not (_is_contiguous(side_a) or _is_contiguous(side_b)):
+            return False
+    return True
+
+
+def verify_sorted_output(
+    tree: TreeTopology,
+    outputs: Mapping[NodeId, np.ndarray],
+    order: Sequence[NodeId],
+    expected: np.ndarray,
+) -> None:
+    """Assert the outputs are a correct sort of ``expected`` along ``order``.
+
+    Checks: the order is a valid traversal; each node's run is sorted;
+    runs are non-decreasing across consecutive nodes; and the
+    concatenation is a permutation of ``expected``.  Raises
+    :class:`ProtocolError` with a specific message otherwise.
+    """
+    if not is_valid_compute_order(tree, order):
+        raise ProtocolError(f"{list(order)!r} is not a valid traversal order")
+    previous_max: int | None = None
+    collected: list[np.ndarray] = []
+    for node in order:
+        run = np.asarray(outputs.get(node, np.empty(0, np.int64)))
+        if len(run) == 0:
+            continue
+        if np.any(np.diff(run) < 0):
+            raise ProtocolError(f"node {node!r} holds an unsorted run")
+        if previous_max is not None and run[0] < previous_max:
+            raise ProtocolError(
+                f"node {node!r} holds {run[0]} but an earlier node "
+                f"holds {previous_max}"
+            )
+        previous_max = int(run[-1])
+        collected.append(run)
+    merged = (
+        np.concatenate(collected) if collected else np.empty(0, np.int64)
+    )
+    expected_sorted = np.sort(np.asarray(expected, dtype=np.int64))
+    if len(merged) != len(expected_sorted) or np.any(
+        merged != expected_sorted
+    ):
+        raise ProtocolError(
+            "sorted output is not a permutation of the input "
+            f"({len(merged)} vs {len(expected_sorted)} elements)"
+        )

@@ -1,0 +1,49 @@
+"""Proportional integer split (Algorithm 6, Lemma 9).
+
+A light node ``u`` must scatter its ``N_u`` elements across the heavy
+nodes ``v_1..v_k`` in proportion to their sizes ``N_{v_i}`` — but in
+integer amounts.  Algorithm 6 walks the heavy nodes once, carrying a
+running credit ``Δ`` of over-allocation, and rounds each ideal share up
+or down so that (Lemma 9) every *prefix* and every *contiguous range* of
+quotas stays within one element of proportionality, and the quotas sum
+to at least ``N_u``.  The range property is what bounds round-1 traffic
+per link: the heavy nodes on one side of a link always form a contiguous
+range of the traversal order.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def proportional_quotas(
+    heavy_sizes: Sequence[int], light_size: int
+) -> list[int]:
+    """Quotas ``N_u^i``: how many of ``light_size`` elements go to each heavy node.
+
+    ``heavy_sizes`` are the ``N_{v_1}..N_{v_k}`` in traversal order; the
+    result has the Lemma 9 prefix/range guarantees.  Quotas are upper
+    bounds: callers send ``min(quota, elements remaining)`` so the total
+    shipped is exactly ``light_size`` (property (3) guarantees the quotas
+    suffice).
+    """
+    if light_size < 0:
+        raise ValueError(f"light_size must be non-negative, got {light_size}")
+    if any(size < 0 for size in heavy_sizes):
+        raise ValueError("heavy sizes must be non-negative")
+    total = sum(heavy_sizes)
+    if total <= 0:
+        raise ValueError("at least one heavy node must hold data")
+    quotas: list[int] = []
+    credit = 0.0
+    for size in heavy_sizes:
+        ideal = size / total * light_size
+        fractional = ideal - math.floor(ideal)
+        if credit >= fractional:
+            quotas.append(math.floor(ideal))
+            credit -= fractional
+        else:
+            quotas.append(math.floor(ideal) + 1)
+            credit += 1.0 - fractional
+    return quotas

@@ -1,0 +1,138 @@
+"""Classic TeraSort (Section 5.2 recap) — also the topology-agnostic baseline.
+
+Three rounds: every node samples its data with probability
+``ρ = 4 (|V_C|/N) ln(|V_C| N)`` and ships samples to a coordinator; the
+coordinator picks ``|V_C| - 1`` equally spaced splitters from the sorted
+samples and broadcasts them; every node then scatters each element to the
+node owning its splitter interval.  Data lands evenly across *all*
+compute nodes regardless of bandwidth or initial placement — the design
+point the weighted variant (:mod:`repro.core.sorting.wts`) improves on.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.data.distribution import Distribution
+from repro.errors import ProtocolError
+from repro.sim.cluster import Cluster
+from repro.sim.protocol import ProtocolResult
+from repro.topology.tree import NodeId, TreeTopology
+from repro.util.seeding import derive_seed
+
+_SAMPLES = "sort.samples"
+_SPLITTERS = "sort.splitters"
+_FINAL = "sort.final"
+
+
+def sample_probability(num_compute: int, total: int) -> float:
+    """``ρ = 4 (|V_C|/N) ln(|V_C| N)``, clamped into [0, 1]."""
+    if total <= 0:
+        return 0.0
+    rho = 4.0 * num_compute / total * math.log(num_compute * total)
+    return min(1.0, max(0.0, rho))
+
+
+def select_splitters(
+    sorted_samples: np.ndarray, counts: list[int]
+) -> np.ndarray:
+    """Splitters from sorted samples: one every ``ceil(s / |V_C|)`` samples.
+
+    ``counts[j]`` is how many sample-intervals node ``j`` is responsible
+    for (all ones for classic TeraSort; ``c_j = ceil(|V_C| M_j / N)`` for
+    the weighted variant).  Returns the ``len(counts) - 1`` internal
+    splitters; out-of-range sample indices clamp to the largest sample,
+    making the trailing intervals empty rather than failing.
+    """
+    num_targets = sum(counts)
+    if num_targets <= 0:
+        raise ProtocolError("splitter selection needs at least one interval")
+    s = len(sorted_samples)
+    if s == 0:
+        return np.empty(0, np.int64)
+    step = math.ceil(s / max(1, num_targets))
+    splitters = []
+    cumulative = 0
+    for count in counts[:-1]:
+        cumulative += count
+        index = min(cumulative * step, s) - 1
+        splitters.append(sorted_samples[max(0, index)])
+    return np.asarray(splitters, dtype=np.int64)
+
+
+def terasort(
+    tree: TreeTopology,
+    distribution: Distribution,
+    *,
+    seed: int = 0,
+    tag: str = "R",
+    bits_per_element: int = 64,
+) -> ProtocolResult:
+    """Run classic TeraSort; ``outputs[v]`` is node ``v``'s sorted run.
+
+    The runs follow the tree's left-to-right traversal order (stored in
+    ``meta["order"]``), so the result is a valid sort in the Section 5
+    sense — but the per-link cost ignores topology and placement.
+    """
+    tree.require_symmetric("TeraSort")
+    distribution.validate_for(tree)
+    order = tree.left_to_right_compute_order()
+    total = distribution.total(tag)
+    cluster = Cluster(tree, distribution, bits_per_element=bits_per_element)
+    if total == 0:
+        outputs = {v: np.empty(0, np.int64) for v in order}
+        return ProtocolResult.from_ledger(
+            "terasort", cluster.ledger, outputs=outputs,
+            meta={"order": order, "rho": 0.0},
+        )
+
+    coordinator = order[0]
+    rho = sample_probability(len(order), total)
+
+    with cluster.round() as ctx:  # round 1: sampling
+        for node in order:
+            local = cluster.local(node, tag)
+            if not len(local):
+                continue
+            rng = np.random.default_rng(derive_seed(seed, "terasort", node))
+            mask = rng.random(len(local)) < rho
+            if mask.any():
+                ctx.send(node, coordinator, local[mask], tag=_SAMPLES)
+
+    samples = np.sort(cluster.take(coordinator, _SAMPLES))
+    splitters = select_splitters(samples, [1] * len(order))
+
+    with cluster.round() as ctx:  # round 2: broadcast splitters
+        if len(splitters) and len(order) > 1:
+            ctx.multicast(
+                coordinator,
+                [v for v in order if v != coordinator],
+                splitters,
+                tag=_SPLITTERS,
+            )
+
+    with cluster.round() as ctx:  # round 3: scatter by interval
+        for node in order:
+            local = cluster.take(node, tag)
+            if not len(local):
+                continue
+            intervals = np.searchsorted(splitters, local, side="right")
+            for index in np.unique(intervals):
+                ctx.send(
+                    node, order[index], local[intervals == index], tag=_FINAL
+                )
+
+    outputs = {v: np.sort(cluster.local(v, _FINAL)) for v in order}
+    return ProtocolResult.from_ledger(
+        "terasort",
+        cluster.ledger,
+        outputs=outputs,
+        meta={
+            "order": order,
+            "rho": rho,
+            "num_samples": int(len(samples)),
+            "splitters": splitters,
+        },
+    )

@@ -1,0 +1,36 @@
+"""Input data substrate: relation fragments placed on compute nodes.
+
+The paper departs from prior MPC work by making the *initial data
+placement* a first-class input: every algorithm and every lower bound is
+parameterised by the per-node fragment sizes ``N_v``.  This package holds
+the :class:`~repro.data.distribution.Distribution` container (placement +
+statistics) and generators for the placement regimes the paper's analyses
+distinguish, including the adversarial interleaved placement used in the
+proof of the sorting lower bound (Theorem 6).
+"""
+
+from repro.data.distribution import Distribution
+from repro.data.generators import (
+    adversarial_sorted_distribution,
+    distribute,
+    make_set_pair,
+    make_sort_input,
+    place_proportional,
+    place_single_heavy,
+    place_uniform,
+    place_zipf,
+    random_distribution,
+)
+
+__all__ = [
+    "Distribution",
+    "make_set_pair",
+    "make_sort_input",
+    "distribute",
+    "place_uniform",
+    "place_zipf",
+    "place_single_heavy",
+    "place_proportional",
+    "adversarial_sorted_distribution",
+    "random_distribution",
+]

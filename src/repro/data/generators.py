@@ -1,0 +1,307 @@
+"""Workload generators: relations and their initial placements.
+
+Two orthogonal choices define every experiment instance:
+
+* **what the data is** — :func:`make_set_pair` builds the relation pair
+  ``(R, S)`` with a controlled intersection size; :func:`make_sort_input`
+  builds a totally ordered set;
+* **where it starts** — the ``place_*`` policies split a relation across
+  compute nodes: uniformly (the classic MPC assumption), Zipf-skewed,
+  single-node-heavy (the regime where "gather at the heavy node" wins),
+  proportional to link bandwidth, or adversarially interleaved by rank
+  (the initial distribution constructed in the proof of Theorem 6 /
+  Figure 5, which forces any correct sort to shuffle half of each link's
+  lighter side).
+
+All generators are deterministic in their ``seed``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping, Sequence
+
+import numpy as np
+
+from repro.data.distribution import Distribution
+from repro.errors import DistributionError
+from repro.topology.tree import NodeId, TreeTopology
+from repro.util.seeding import derive_seed
+
+PlacementSizes = Mapping[NodeId, int]
+
+
+def make_set_pair(
+    r_size: int,
+    s_size: int,
+    *,
+    intersection_size: int | None = None,
+    seed: int = 0,
+    domain: int = 2**40,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Two sets ``R``, ``S`` with exactly ``intersection_size`` common values.
+
+    Defaults to an intersection of ``min(|R|, |S|) // 4``.  Elements are
+    distinct random integers in ``[0, domain)``, shuffled so fragment
+    boundaries carry no structure.
+    """
+    if intersection_size is None:
+        intersection_size = min(r_size, s_size) // 4
+    if intersection_size > min(r_size, s_size):
+        raise DistributionError(
+            f"intersection {intersection_size} exceeds min(|R|,|S|)"
+            f"={min(r_size, s_size)}"
+        )
+    total_distinct = r_size + s_size - intersection_size
+    if total_distinct > domain:
+        raise DistributionError("domain too small for the requested sizes")
+    rng = np.random.default_rng(derive_seed(seed, "set-pair"))
+    pool = rng.choice(domain, size=total_distinct, replace=False).astype(np.int64)
+    common = pool[:intersection_size]
+    r_only = pool[intersection_size : r_size]
+    s_only = pool[r_size:]
+    r_values = np.concatenate([common, r_only])
+    s_values = np.concatenate([common, s_only])
+    rng.shuffle(r_values)
+    rng.shuffle(s_values)
+    return r_values, s_values
+
+
+def make_sort_input(
+    size: int, *, seed: int = 0, domain: int = 2**40
+) -> np.ndarray:
+    """``size`` distinct random integers (a totally ordered set)."""
+    rng = np.random.default_rng(derive_seed(seed, "sort-input"))
+    return rng.choice(domain, size=size, replace=False).astype(np.int64)
+
+
+# --------------------------------------------------------------------- #
+# placement size policies
+# --------------------------------------------------------------------- #
+
+
+def place_uniform(total: int, nodes: Sequence[NodeId]) -> dict:
+    """Split ``total`` as evenly as possible — the classic MPC assumption."""
+    if not nodes:
+        raise DistributionError("no nodes to place data on")
+    base, extra = divmod(total, len(nodes))
+    return {
+        node: base + (1 if index < extra else 0)
+        for index, node in enumerate(nodes)
+    }
+
+
+def place_zipf(
+    total: int, nodes: Sequence[NodeId], *, exponent: float = 1.0
+) -> dict:
+    """Zipf-skewed sizes: node ``i`` gets weight ``1 / (i+1)^exponent``."""
+    if not nodes:
+        raise DistributionError("no nodes to place data on")
+    weights = np.array(
+        [1.0 / (i + 1) ** exponent for i in range(len(nodes))]
+    )
+    return place_by_weights(total, nodes, weights)
+
+
+def place_single_heavy(
+    total: int, nodes: Sequence[NodeId], *, heavy_fraction: float = 0.8,
+    heavy_index: int = 0,
+) -> dict:
+    """One node holds ``heavy_fraction`` of the data, the rest share evenly.
+
+    With ``heavy_fraction > 0.5`` this produces the ``max_v N_v > N/2``
+    regime in which gathering everything at the heavy node is optimal
+    (Algorithm 4 / the wTS short-circuit).
+    """
+    if not 0.0 <= heavy_fraction <= 1.0:
+        raise DistributionError("heavy_fraction must be in [0, 1]")
+    if not nodes:
+        raise DistributionError("no nodes to place data on")
+    heavy = int(round(total * heavy_fraction))
+    sizes = {node: 0 for node in nodes}
+    heavy_node = nodes[heavy_index % len(nodes)]
+    sizes[heavy_node] = heavy
+    rest = [n for n in nodes if n != heavy_node]
+    if rest:
+        for node, amount in place_uniform(total - heavy, rest).items():
+            sizes[node] = amount
+    else:
+        sizes[heavy_node] = total
+    return sizes
+
+
+def place_proportional(
+    total: int, nodes: Sequence[NodeId], weights: Mapping[NodeId, float]
+) -> dict:
+    """Sizes proportional to given per-node weights (e.g. link bandwidth)."""
+    weight_list = np.array([float(weights[n]) for n in nodes])
+    return place_by_weights(total, nodes, weight_list)
+
+
+def place_by_weights(
+    total: int, nodes: Sequence[NodeId], weights: np.ndarray
+) -> dict:
+    """Largest-remainder apportionment of ``total`` by ``weights``."""
+    if len(nodes) != len(weights):
+        raise DistributionError("one weight per node required")
+    weights = np.asarray(weights, dtype=np.float64)
+    if np.any(weights < 0) or weights.sum() <= 0:
+        raise DistributionError("weights must be non-negative, not all zero")
+    exact = weights / weights.sum() * total
+    floors = np.floor(exact).astype(np.int64)
+    deficit = int(total - floors.sum())
+    remainders = exact - floors
+    order = np.argsort(-remainders, kind="stable")
+    for i in range(deficit):
+        floors[order[i]] += 1
+    return {node: int(size) for node, size in zip(nodes, floors)}
+
+
+# --------------------------------------------------------------------- #
+# assembling distributions
+# --------------------------------------------------------------------- #
+
+
+def distribute(
+    values: np.ndarray,
+    sizes: PlacementSizes,
+    *,
+    tag: str,
+    shuffle_seed: int | None = None,
+) -> Distribution:
+    """Place ``values`` on nodes according to per-node ``sizes``.
+
+    Sizes must sum to ``len(values)``.  When ``shuffle_seed`` is given the
+    values are shuffled first, decoupling fragment boundaries from value
+    order; leave it ``None`` to preserve order (required by the
+    adversarial sorted placement).
+    """
+    total = sum(sizes.values())
+    if total != len(values):
+        raise DistributionError(
+            f"sizes sum to {total} but there are {len(values)} values"
+        )
+    data = np.asarray(values, dtype=np.int64)
+    if shuffle_seed is not None:
+        data = data.copy()
+        np.random.default_rng(derive_seed(shuffle_seed, "distribute", tag)).shuffle(data)
+    placements: dict = {}
+    offset = 0
+    for node, size in sizes.items():
+        placements[node] = {tag: data[offset : offset + size]}
+        offset += size
+    return Distribution(placements)
+
+
+def merge_distributions(*parts: Distribution) -> Distribution:
+    """Combine distributions over disjoint relation tags."""
+    placements: dict = {}
+    seen_tags: set[str] = set()
+    for part in parts:
+        overlap = seen_tags & set(part.tags)
+        if overlap:
+            raise DistributionError(f"duplicate relation tags {sorted(overlap)}")
+        seen_tags |= set(part.tags)
+        for node in part.nodes:
+            target = placements.setdefault(node, {})
+            for tag in part.tags:
+                fragment = part.fragment(node, tag)
+                if len(fragment):
+                    target[tag] = fragment
+    return Distribution(placements)
+
+
+def random_distribution(
+    tree: TreeTopology,
+    *,
+    r_size: int,
+    s_size: int,
+    intersection_size: int | None = None,
+    policy: str = "uniform",
+    seed: int = 0,
+    r_tag: str = "R",
+    s_tag: str = "S",
+    zipf_exponent: float = 1.0,
+    heavy_fraction: float = 0.8,
+) -> Distribution:
+    """One-call workload: an ``(R, S)`` pair placed by a named policy.
+
+    ``policy`` is one of ``uniform``, ``zipf``, ``single-heavy``,
+    ``proportional`` (to compute-node uplink bandwidth).
+    """
+    nodes = tree.left_to_right_compute_order()
+    r_values, s_values = make_set_pair(
+        r_size, s_size, intersection_size=intersection_size, seed=seed
+    )
+
+    def sizes_for(total: int, which: str) -> dict:
+        if policy == "uniform":
+            return place_uniform(total, nodes)
+        if policy == "zipf":
+            return place_zipf(total, nodes, exponent=zipf_exponent)
+        if policy == "single-heavy":
+            return place_single_heavy(
+                total, nodes, heavy_fraction=heavy_fraction
+            )
+        if policy == "proportional":
+            uplinks = {
+                n: tree.bandwidth(n, tree.neighbors(n)[0]) for n in nodes
+            }
+            finite = {
+                n: (w if np.isfinite(w) else max(1.0, r_size + s_size))
+                for n, w in uplinks.items()
+            }
+            return place_proportional(total, nodes, finite)
+        raise DistributionError(f"unknown placement policy {policy!r}")
+
+    r_part = distribute(
+        r_values,
+        sizes_for(r_size, "R"),
+        tag=r_tag,
+        shuffle_seed=derive_seed(seed, "place-R"),
+    )
+    s_part = distribute(
+        s_values,
+        sizes_for(s_size, "S"),
+        tag=s_tag,
+        shuffle_seed=derive_seed(seed, "place-S"),
+    )
+    return merge_distributions(r_part, s_part)
+
+
+def adversarial_sorted_distribution(
+    tree: TreeTopology,
+    sizes: PlacementSizes | None = None,
+    *,
+    total: int | None = None,
+    tag: str = "R",
+    root: NodeId | None = None,
+) -> Distribution:
+    """The adversarial placement from the proof of Theorem 6 (Figure 5).
+
+    Values ``1..N`` are laid out in the sequence
+    ``r1, r3, ..., r2, r4, ...`` (all odd ranks, then all even ranks) and
+    dealt to compute nodes in left-to-right traversal order, each node
+    taking ``sizes[v]`` consecutive entries.  Any correct sort must then
+    move, across every link, a constant fraction of the lighter side's
+    data — making this the placement on which the Theorem 6 lower bound
+    is tight.
+
+    Provide either explicit per-node ``sizes`` or a ``total`` to split
+    uniformly.
+    """
+    order = tree.left_to_right_compute_order(root)
+    if sizes is None:
+        if total is None:
+            raise DistributionError("provide sizes or total")
+        sizes = place_uniform(total, order)
+    n = sum(sizes.values())
+    odd_ranks = np.arange(1, n + 1, 2, dtype=np.int64)
+    even_ranks = np.arange(2, n + 1, 2, dtype=np.int64)
+    sequence = np.concatenate([odd_ranks, even_ranks])
+    ordered_sizes = {node: int(sizes.get(node, 0)) for node in order}
+    extra = set(sizes) - set(order)
+    if extra:
+        raise DistributionError(
+            f"sizes given for unknown compute nodes {sorted(map(str, extra))}"
+        )
+    return distribute(sequence, ordered_sizes, tag=tag)

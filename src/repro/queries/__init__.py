@@ -1,0 +1,30 @@
+"""Relational operators over the topology-aware substrate.
+
+The paper's conclusion names the natural next step: "more complex tasks
+that have so far been analyzed only in the context of the MPC model,
+starting from a simple join between two relations".  This package takes
+that step with the same distribution-aware machinery the paper's tasks
+use:
+
+* :func:`~repro.queries.tuples.encode_tuples` — pack (key, payload)
+  pairs into the simulator's 64-bit elements;
+* :func:`~repro.queries.join.tree_equijoin` — a single-round equi-join
+  generalizing TreeIntersect: the smaller relation is replicated across
+  the balanced-partition blocks, the larger hashed within its own block,
+  and matching keys join locally;
+* :func:`~repro.queries.aggregate.tree_groupby_aggregate` — group-by
+  aggregation with local pre-aggregation and a placement-weighted
+  shuffle of the combined partials.
+"""
+
+from repro.queries.tuples import decode_tuples, encode_tuples
+from repro.queries.join import equijoin_lower_bound, tree_equijoin
+from repro.queries.aggregate import tree_groupby_aggregate
+
+__all__ = [
+    "encode_tuples",
+    "decode_tuples",
+    "tree_equijoin",
+    "equijoin_lower_bound",
+    "tree_groupby_aggregate",
+]

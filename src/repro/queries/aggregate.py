@@ -1,0 +1,146 @@
+"""Distribution-aware group-by aggregation on symmetric trees.
+
+Aggregation is the task prior topology-aware work studied on stars
+(Liu et al. [37], LOOM [16, 17]); here it runs on any symmetric tree
+with the same placement-weighted machinery as the paper's tasks:
+
+1. **local pre-aggregation** — each node combines its tuples per key,
+   so at most one partial per (node, key) ever travels (the classic
+   combiner optimization, free in the model's computation phase);
+2. **weighted shuffle** — each key's partials are hashed to an owner
+   chosen with probability proportional to the data each node holds, so
+   data-rich, well-connected nodes own more groups;
+3. **final combine** at the owner.
+
+Supported operations: ``sum``, ``count``, ``min``, ``max``.  The
+protocol is a single round; disabling pre-aggregation (the ablation)
+shows the combiner's effect on the model cost.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.data.distribution import Distribution
+from repro.errors import ProtocolError
+from repro.queries.tuples import DEFAULT_PAYLOAD_BITS, decode_tuples, encode_tuples
+from repro.sim.cluster import Cluster
+from repro.sim.protocol import ProtocolResult
+from repro.topology.tree import TreeTopology, node_sort_key
+from repro.util.hashing import WeightedNodeHasher
+from repro.util.seeding import derive_seed
+
+_RECV = "aggregate.recv"
+
+_REDUCERS: dict[str, Callable] = {
+    "sum": np.add.reduceat,
+    "count": None,  # handled specially
+    "min": np.minimum.reduceat,
+    "max": np.maximum.reduceat,
+}
+
+
+def _combine(
+    keys: np.ndarray, values: np.ndarray, op: str
+) -> tuple[np.ndarray, np.ndarray]:
+    """Aggregate ``values`` per distinct key; returns sorted unique keys."""
+    if len(keys) == 0:
+        return keys, values
+    order = np.argsort(keys, kind="stable")
+    keys, values = keys[order], values[order]
+    boundaries = np.flatnonzero(np.diff(keys)) + 1
+    starts = np.concatenate([[0], boundaries])
+    unique_keys = keys[starts]
+    if op == "count":
+        counts = np.diff(np.concatenate([starts, [len(keys)]]))
+        return unique_keys, counts.astype(np.int64)
+    reducer = _REDUCERS[op]
+    return unique_keys, reducer(values, starts)
+
+
+def tree_groupby_aggregate(
+    tree: TreeTopology,
+    distribution: Distribution,
+    *,
+    op: str = "sum",
+    seed: int = 0,
+    tag: str = "R",
+    payload_bits: int = DEFAULT_PAYLOAD_BITS,
+    pre_aggregate: bool = True,
+    bits_per_element: int = 64,
+) -> ProtocolResult:
+    """Aggregate encoded (key, value) tuples per key across the tree.
+
+    ``outputs[v]`` maps each key owned by node ``v`` to its aggregate.
+    ``pre_aggregate=False`` ships raw tuples instead of per-node
+    partials (the ablation).  Note ``sum``/``count`` partials must fit
+    the payload width; choose ``payload_bits`` accordingly.
+    """
+    if op not in _REDUCERS:
+        raise ProtocolError(
+            f"unsupported op {op!r}; choose from {sorted(_REDUCERS)}"
+        )
+    tree.require_symmetric("tree_groupby_aggregate")
+    distribution.validate_for(tree)
+
+    computes = sorted(tree.compute_nodes, key=node_sort_key)
+    sizes = {v: distribution.size(v, tag) for v in computes}
+    total = sum(sizes.values())
+    cluster = Cluster(tree, distribution, bits_per_element=bits_per_element)
+    if total == 0:
+        return ProtocolResult.from_ledger(
+            "tree-groupby", cluster.ledger,
+            outputs={v: {} for v in computes}, meta={"op": op},
+        )
+
+    hasher = WeightedNodeHasher(
+        computes,
+        [max(sizes[v], 0) for v in computes],
+        derive_seed(seed, "groupby"),
+    )
+
+    # `count` partials are counts, not payload values: pre-combine emits
+    # (key, count) pairs which downstream must combine with `sum`.
+    combine_op = op
+    final_op = "sum" if op == "count" else op
+
+    with cluster.round() as ctx:
+        for v in computes:
+            local = cluster.local(v, tag)
+            if not len(local):
+                continue
+            keys, values = decode_tuples(local, payload_bits=payload_bits)
+            if pre_aggregate:
+                keys, values = _combine(keys, values, combine_op)
+                payload = encode_tuples(
+                    keys, values, payload_bits=payload_bits
+                )
+            else:
+                payload = local
+            targets = hasher.assign_indices(keys)
+            for index in np.unique(targets):
+                ctx.send(
+                    v, computes[index], payload[targets == index], tag=_RECV
+                )
+
+    outputs: dict = {}
+    for v in computes:
+        received = cluster.local(v, _RECV)
+        keys, values = decode_tuples(received, payload_bits=payload_bits)
+        if not pre_aggregate and op == "count":
+            final_keys, final_values = _combine(keys, values, "count")
+        else:
+            final_keys, final_values = _combine(
+                keys, values, final_op if pre_aggregate else op
+            )
+        outputs[v] = {
+            int(k): int(val) for k, val in zip(final_keys, final_values)
+        }
+    return ProtocolResult.from_ledger(
+        "tree-groupby",
+        cluster.ledger,
+        outputs=outputs,
+        meta={"op": op, "pre_aggregate": pre_aggregate},
+    )

@@ -1,0 +1,221 @@
+"""Distribution-aware equi-join on symmetric trees.
+
+The natural join ``R ⋈ S`` generalizes set intersection: instead of
+emitting common *values*, every pair of tuples agreeing on the key must
+be emitted.  The single-round strategy of Algorithm 2 carries over
+unchanged — and so does its per-link budget analysis, because the
+communication pattern only depends on tuple counts, not payloads:
+
+* compute the balanced partition of the compute nodes (Definition 1);
+* replicate every ``R``-tuple to one hashed owner per block (multicast,
+  one copy per link);
+* hash every ``S``-tuple within its own block;
+* join locally; block ``i`` produces ``R ⋈ (S restricted to block i)``
+  and the blocks partition ``S``.
+
+Tuples are (key, payload) pairs packed by
+:mod:`repro.queries.tuples`; hashing is by key, so duplicate keys are
+fully supported on both sides.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.intersection.lower_bound import intersection_lower_bound
+from repro.core.intersection.partition import balanced_partition
+from repro.core.common import LowerBound
+from repro.data.distribution import Distribution
+from repro.queries.tuples import DEFAULT_PAYLOAD_BITS, decode_tuples
+from repro.sim.cluster import Cluster
+from repro.sim.protocol import ProtocolResult
+from repro.topology.tree import TreeTopology, node_sort_key
+from repro.util.hashing import WeightedNodeHasher
+from repro.util.seeding import derive_seed
+
+_R_RECV = "join.R.recv"
+_S_RECV = "join.S.recv"
+
+
+def equijoin_lower_bound(
+    tree: TreeTopology,
+    distribution: Distribution,
+    *,
+    r_tag: str = "R",
+    s_tag: str = "S",
+) -> LowerBound:
+    """A valid equi-join lower bound via Theorem 1.
+
+    Set intersection is the special case of the equi-join with distinct
+    keys and empty payloads, so any join protocol solves the embedded
+    lopsided set-disjointness instances and inherits the Theorem 1
+    bound on the tuple counts.  (Output-size-sensitive bounds for skewed
+    keys are future work, as in the paper.)
+    """
+    bound = intersection_lower_bound(
+        tree, distribution, r_tag=r_tag, s_tag=s_tag
+    )
+    return LowerBound(
+        value=bound.value,
+        bottleneck_edge=bound.bottleneck_edge,
+        per_edge=bound.per_edge,
+        description="Theorem 1 applied to the equi-join",
+    )
+
+
+def _local_join(
+    r_tuples: np.ndarray,
+    s_tuples: np.ndarray,
+    *,
+    payload_bits: int,
+    materialize: bool,
+) -> dict:
+    """Join two received fragments on the key component."""
+    r_keys, r_payloads = decode_tuples(r_tuples, payload_bits=payload_bits)
+    s_keys, s_payloads = decode_tuples(s_tuples, payload_bits=payload_bits)
+    r_order = np.argsort(r_keys, kind="stable")
+    s_order = np.argsort(s_keys, kind="stable")
+    r_keys, r_payloads = r_keys[r_order], r_payloads[r_order]
+    s_keys, s_payloads = s_keys[s_order], s_payloads[s_order]
+    common = np.intersect1d(r_keys, s_keys)
+    num_pairs = 0
+    pairs: list = []
+    for key in common:
+        r_lo, r_hi = np.searchsorted(r_keys, [key, key + 1])
+        s_lo, s_hi = np.searchsorted(s_keys, [key, key + 1])
+        count = int(r_hi - r_lo) * int(s_hi - s_lo)
+        num_pairs += count
+        if materialize and count:
+            left = np.repeat(r_payloads[r_lo:r_hi], s_hi - s_lo)
+            right = np.tile(s_payloads[s_lo:s_hi], r_hi - r_lo)
+            keys = np.full(count, key, dtype=np.int64)
+            pairs.append(np.stack([keys, left, right], axis=1))
+    result: dict = {"num_pairs": num_pairs, "num_keys": int(len(common))}
+    if materialize:
+        result["pairs"] = (
+            np.concatenate(pairs) if pairs else np.empty((0, 3), np.int64)
+        )
+    return result
+
+
+def tree_equijoin(
+    tree: TreeTopology,
+    distribution: Distribution,
+    *,
+    seed: int = 0,
+    r_tag: str = "R",
+    s_tag: str = "S",
+    payload_bits: int = DEFAULT_PAYLOAD_BITS,
+    blocks: Sequence[frozenset] | None = None,
+    materialize: bool = False,
+    bits_per_element: int = 64,
+) -> ProtocolResult:
+    """Single-round equi-join of encoded relations; see module docstring.
+
+    ``outputs[v]`` holds ``num_pairs``/``num_keys`` and, with
+    ``materialize=True``, the joined ``(key, r_payload, s_payload)``
+    rows node ``v`` produced.
+    """
+    tree.require_symmetric("tree_equijoin")
+    distribution.validate_for(tree)
+
+    swapped = distribution.total(r_tag) > distribution.total(s_tag)
+    small_tag, large_tag = (s_tag, r_tag) if swapped else (r_tag, s_tag)
+    small_recv, large_recv = (
+        (_S_RECV, _R_RECV) if swapped else (_R_RECV, _S_RECV)
+    )
+
+    computes = sorted(tree.compute_nodes, key=node_sort_key)
+    node_index = {v: i for i, v in enumerate(computes)}
+    sizes = {
+        v: distribution.size(v, small_tag) + distribution.size(v, large_tag)
+        for v in computes
+    }
+    r_size = distribution.total(small_tag)
+    if blocks is None:
+        blocks = balanced_partition(tree, sizes, r_size)
+    blocks = [frozenset(b) for b in blocks]
+    block_of = {v: i for i, block in enumerate(blocks) for v in block}
+
+    hashers: list[WeightedNodeHasher | None] = []
+    members_per_block: list[list] = []
+    for i, block in enumerate(blocks):
+        members = sorted(block, key=node_sort_key)
+        members_per_block.append(members)
+        weights = [sizes[v] for v in members]
+        hashers.append(
+            WeightedNodeHasher(
+                members, weights, derive_seed(seed, "equijoin", i)
+            )
+            if sum(weights) > 0
+            else None
+        )
+    active = [i for i, h in enumerate(hashers) if h is not None]
+
+    cluster = Cluster(tree, distribution, bits_per_element=bits_per_element)
+    with cluster.round() as ctx:
+        for v in computes:
+            r_local = cluster.local(v, small_tag)
+            if len(r_local) and active:
+                keys = np.asarray(r_local, dtype=np.int64) >> payload_bits
+                member_ids = {
+                    i: np.asarray(
+                        [node_index[m] for m in members_per_block[i]],
+                        dtype=np.int64,
+                    )
+                    for i in active
+                }
+                target_matrix = np.stack(
+                    [
+                        member_ids[i][hashers[i].assign_indices(keys)]
+                        for i in active
+                    ],
+                    axis=1,
+                )
+                unique_rows, inverse = np.unique(
+                    target_matrix, axis=0, return_inverse=True
+                )
+                for row_id in range(len(unique_rows)):
+                    ctx.multicast(
+                        v,
+                        {computes[j] for j in unique_rows[row_id]},
+                        r_local[inverse == row_id],
+                        tag=small_recv,
+                    )
+            s_local = cluster.local(v, large_tag)
+            if len(s_local):
+                hasher = hashers[block_of[v]]
+                if hasher is None:  # pragma: no cover
+                    continue
+                keys = np.asarray(s_local, dtype=np.int64) >> payload_bits
+                members = members_per_block[block_of[v]]
+                targets = hasher.assign_indices(keys)
+                for index in np.unique(targets):
+                    ctx.send(
+                        v,
+                        members[index],
+                        s_local[targets == index],
+                        tag=large_recv,
+                    )
+
+    outputs: dict = {}
+    for v in computes:
+        outputs[v] = _local_join(
+            cluster.local(v, _R_RECV),
+            cluster.local(v, _S_RECV),
+            payload_bits=payload_bits,
+            materialize=materialize,
+        )
+
+    return ProtocolResult.from_ledger(
+        "tree-equijoin",
+        cluster.ledger,
+        outputs=outputs,
+        meta={
+            "num_blocks": len(blocks),
+            "swapped_relations": swapped,
+            "payload_bits": payload_bits,
+        },
+    )

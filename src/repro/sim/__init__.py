@@ -1,0 +1,17 @@
+"""Round-based cluster simulator implementing the Section 2 cost model.
+
+The simulator *is* the measurement instrument of this reproduction: a
+protocol executes synchronous rounds on a :class:`~repro.sim.cluster.Cluster`,
+every transfer is routed along the tree (with Steiner deduplication for
+multicasts), and the :class:`~repro.sim.ledger.CostLedger` accumulates per
+directed edge the number of elements routed through it in each round.
+The model cost of the run is then exactly the paper's
+
+    cost(A) = sum_i max_e |Y_i(e)| / w_e.
+"""
+
+from repro.sim.ledger import CostLedger
+from repro.sim.cluster import Cluster, RoundContext
+from repro.sim.protocol import ProtocolResult
+
+__all__ = ["CostLedger", "Cluster", "RoundContext", "ProtocolResult"]

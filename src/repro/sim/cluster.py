@@ -1,0 +1,214 @@
+"""The executable cluster: storage, rounds, message routing, accounting.
+
+A :class:`Cluster` binds a tree topology to per-node storage and executes
+protocols round by round, following Section 2's computation model:
+
+* only compute nodes hold data between rounds;
+* within a round, nodes first compute locally, then exchange data; a
+  transfer follows the unique tree path between its endpoints, and a
+  multicast of the same payload to several destinations follows the
+  Steiner tree, each link charged once per element;
+* all transfers of a round are accounted together, and the round's cost
+  is that of the most bottlenecked link.
+
+Protocols interact with storage under string *tags* (relation names, or
+scratch tags like ``"R.recv"``), which is how a receiver distinguishes
+arrivals from pre-existing local data.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Hashable, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.data.distribution import Distribution
+from repro.errors import ProtocolError
+from repro.sim.ledger import CostLedger
+from repro.topology.steiner import PathOracle
+from repro.topology.tree import NodeId, TreeTopology
+
+
+class RoundContext:
+    """Collects the transfers of one round; created by :meth:`Cluster.round`."""
+
+    def __init__(self, cluster: "Cluster") -> None:
+        self._cluster = cluster
+        self._transfers: list[tuple[NodeId, frozenset, str, np.ndarray]] = []
+        self._closed = False
+
+    def send(
+        self, src: NodeId, dst: NodeId, values, *, tag: str
+    ) -> None:
+        """Unicast ``values`` from ``src`` to ``dst`` under ``tag``."""
+        self.multicast(src, (dst,), values, tag=tag)
+
+    def multicast(
+        self, src: NodeId, dsts: Iterable[NodeId], values, *, tag: str
+    ) -> None:
+        """Send one copy of ``values`` toward every node in ``dsts``.
+
+        Routing is deduplicated: each link on the Steiner tree of
+        ``{src} | dsts`` carries the payload once, which is the routing
+        the paper's upper-bound analyses assume for replicated tuples.
+        """
+        if self._closed:
+            raise ProtocolError("round already finalized")
+        payload = np.asarray(values, dtype=np.int64)
+        if payload.ndim != 1:
+            raise ProtocolError("payloads must be one-dimensional arrays")
+        destination_set = frozenset(dsts)
+        if not destination_set:
+            raise ProtocolError("multicast needs at least one destination")
+        cluster = self._cluster
+        for node in destination_set | {src}:
+            if node not in cluster.tree.nodes:
+                raise ProtocolError(f"unknown node {node!r}")
+        for node in destination_set:
+            if node not in cluster.tree.compute_nodes:
+                raise ProtocolError(
+                    f"destination {node!r} is a router; only compute nodes "
+                    "can store data"
+                )
+        if len(payload) == 0:
+            return
+        self._transfers.append((src, destination_set, str(tag), payload))
+
+    def scatter(
+        self,
+        src: NodeId,
+        assignments: Iterable[tuple[NodeId, Sequence[int] | np.ndarray]],
+        *,
+        tag: str,
+    ) -> None:
+        """Unicast a different payload to each destination (convenience)."""
+        for dst, values in assignments:
+            self.send(src, dst, values, tag=tag)
+
+    def _finalize(self) -> None:
+        if self._closed:
+            raise ProtocolError("round already finalized")
+        self._closed = True
+        cluster = self._cluster
+        cluster.ledger.open_round()
+        arrivals: dict[NodeId, dict[str, list[np.ndarray]]] = {}
+        for src, dsts, tag, payload in self._transfers:
+            for edge in cluster.oracle.steiner_edges(src, dsts):
+                cluster.ledger.add_load(edge, len(payload))
+            for dst in dsts:
+                arrivals.setdefault(dst, {}).setdefault(tag, []).append(payload)
+                if dst != src:
+                    cluster._received_elements[dst] = (
+                        cluster._received_elements.get(dst, 0) + len(payload)
+                    )
+        for dst, tagged in arrivals.items():
+            for tag, payloads in tagged.items():
+                cluster._storage.setdefault(dst, {}).setdefault(tag, []).extend(
+                    payloads
+                )
+        cluster.ledger.close_round()
+
+
+class Cluster:
+    """Tree topology + per-node storage + cost accounting."""
+
+    def __init__(
+        self,
+        tree: TreeTopology,
+        distribution: Distribution | None = None,
+        *,
+        bits_per_element: int = 64,
+    ) -> None:
+        self._tree = tree
+        self.oracle = PathOracle(tree)
+        self.ledger = CostLedger(tree, bits_per_element=bits_per_element)
+        self._storage: dict[NodeId, dict[str, list[np.ndarray]]] = {}
+        self._received_elements: dict[NodeId, int] = {}
+        self._round_open = False
+        if distribution is not None:
+            self.load(distribution)
+
+    @property
+    def tree(self) -> TreeTopology:
+        return self._tree
+
+    # ------------------------------------------------------------------ #
+    # storage
+    # ------------------------------------------------------------------ #
+
+    def load(self, distribution: Distribution) -> None:
+        """Install an initial placement (``X_0``) into node storage."""
+        distribution.validate_for(self._tree)
+        for node in distribution.nodes:
+            for tag in distribution.tags:
+                fragment = distribution.fragment(node, tag)
+                if len(fragment):
+                    self.put(node, tag, fragment)
+
+    def put(self, node: NodeId, tag: str, values) -> None:
+        """Append ``values`` to ``node``'s storage under ``tag``."""
+        if node not in self._tree.compute_nodes:
+            raise ProtocolError(
+                f"{node!r} is not a compute node and cannot store data"
+            )
+        payload = np.asarray(values, dtype=np.int64)
+        if len(payload) == 0:
+            return
+        self._storage.setdefault(node, {}).setdefault(str(tag), []).append(payload)
+
+    def local(self, node: NodeId, tag: str) -> np.ndarray:
+        """All elements ``node`` currently holds under ``tag``."""
+        chunks = self._storage.get(node, {}).get(str(tag), [])
+        if not chunks:
+            return np.empty(0, np.int64)
+        if len(chunks) == 1:
+            return chunks[0].copy()
+        return np.concatenate(chunks)
+
+    def take(self, node: NodeId, tag: str) -> np.ndarray:
+        """Remove and return ``node``'s data under ``tag``."""
+        values = self.local(node, tag)
+        self._storage.get(node, {}).pop(str(tag), None)
+        return values
+
+    def local_size(self, node: NodeId, tag: str | None = None) -> int:
+        """Element count at ``node`` for one tag or across all tags."""
+        tagged = self._storage.get(node, {})
+        if tag is not None:
+            return sum(len(chunk) for chunk in tagged.get(str(tag), []))
+        return sum(
+            len(chunk) for chunks in tagged.values() for chunk in chunks
+        )
+
+    def tags_at(self, node: NodeId) -> frozenset:
+        return frozenset(self._storage.get(node, {}))
+
+    def received_elements(self, node: NodeId) -> int:
+        """Elements delivered to ``node`` from other nodes (MPC measure)."""
+        return self._received_elements.get(node, 0)
+
+    # ------------------------------------------------------------------ #
+    # rounds
+    # ------------------------------------------------------------------ #
+
+    @contextmanager
+    def round(self) -> Iterator[RoundContext]:
+        """Open a communication round.
+
+        All sends registered inside the ``with`` block belong to the same
+        round; deliveries and cost accounting happen when the block exits.
+        """
+        if self._round_open:
+            raise ProtocolError("a round is already in progress")
+        self._round_open = True
+        context = RoundContext(self)
+        try:
+            yield context
+        finally:
+            self._round_open = False
+        context._finalize()
+
+    @property
+    def rounds_executed(self) -> int:
+        return self.ledger.num_rounds

@@ -1,0 +1,123 @@
+"""Per-round, per-edge communication accounting (the Section 2 cost model).
+
+The ledger records ``|Y_i(e)|`` — the number of elements routed through
+each directed edge ``e`` during round ``i`` — and derives the paper's
+cost measures:
+
+* ``round_cost(i) = max_e |Y_i(e)| / w_e``,
+* ``total_cost = sum_i round_cost(i)`` (in element units),
+* the same in bits, as elements x ``bits_per_element`` (the paper's
+  "pay a log N factor to translate to bits").
+
+Edges with infinite bandwidth contribute zero cost but their loads are
+still recorded, so analyses can inspect raw traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import ProtocolError
+from repro.topology.tree import DirectedEdge, TreeTopology
+
+
+class CostLedger:
+    """Accumulates per-round directed-edge loads for one topology."""
+
+    def __init__(self, tree: TreeTopology, *, bits_per_element: int = 64) -> None:
+        if bits_per_element <= 0:
+            raise ProtocolError("bits_per_element must be positive")
+        self._tree = tree
+        self._bits_per_element = bits_per_element
+        self._rounds: list[dict[DirectedEdge, int]] = []
+        self._open = False
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+
+    def open_round(self) -> None:
+        if self._open:
+            raise ProtocolError("previous round is still open")
+        self._rounds.append({})
+        self._open = True
+
+    def add_load(self, edge: DirectedEdge, elements: int) -> None:
+        """Charge ``elements`` routed through directed ``edge`` this round."""
+        if not self._open:
+            raise ProtocolError("no round is open")
+        if elements < 0:
+            raise ProtocolError(f"negative load {elements}")
+        u, v = edge
+        self._tree.bandwidth(u, v)  # validates the edge exists
+        current = self._rounds[-1]
+        current[edge] = current.get(edge, 0) + int(elements)
+
+    def close_round(self) -> None:
+        if not self._open:
+            raise ProtocolError("no round is open")
+        self._open = False
+
+    # ------------------------------------------------------------------ #
+    # cost queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self._rounds)
+
+    @property
+    def bits_per_element(self) -> int:
+        return self._bits_per_element
+
+    def round_loads(self, index: int) -> dict[DirectedEdge, int]:
+        """Copy of the per-edge element loads of round ``index``."""
+        return dict(self._rounds[index])
+
+    def round_cost(self, index: int) -> float:
+        """``max_e |Y_i(e)| / w_e`` for round ``index`` (element units)."""
+        loads = self._rounds[index]
+        if not loads:
+            return 0.0
+        return max(
+            count / self._tree.bandwidth(*edge) for edge, count in loads.items()
+        )
+
+    def total_cost(self) -> float:
+        """The paper's ``cost(A)`` in element units."""
+        return sum(self.round_cost(i) for i in range(len(self._rounds)))
+
+    def total_cost_bits(self) -> float:
+        """``cost(A)`` in bits."""
+        return self.total_cost() * self._bits_per_element
+
+    def edge_total(self, edge: DirectedEdge) -> int:
+        """Total elements routed through ``edge`` across all rounds."""
+        return sum(loads.get(edge, 0) for loads in self._rounds)
+
+    def total_elements(self) -> int:
+        """Total element-hops (sum of loads over all edges and rounds)."""
+        return sum(sum(loads.values()) for loads in self._rounds)
+
+    def bottleneck(self, index: int | None = None) -> tuple[DirectedEdge, float] | None:
+        """The most expensive directed edge (of one round or overall)."""
+        indices = range(len(self._rounds)) if index is None else [index]
+        best: tuple[DirectedEdge, float] | None = None
+        for i in indices:
+            for edge, count in self._rounds[i].items():
+                cost = count / self._tree.bandwidth(*edge)
+                if best is None or cost > best[1]:
+                    best = (edge, cost)
+        return best
+
+    def summary(self) -> dict:
+        """A compact dict for reports and benchmark ``extra_info``."""
+        return {
+            "rounds": self.num_rounds,
+            "cost_elements": self.total_cost(),
+            "cost_bits": self.total_cost_bits(),
+            "total_element_hops": self.total_elements(),
+            "per_round_cost": [
+                self.round_cost(i) for i in range(self.num_rounds)
+            ],
+        }

@@ -1,0 +1,276 @@
+"""Constructors for the network topologies discussed in the paper.
+
+Section 2.1 motivates star topologies (small clusters, multi-core CPUs),
+two-level router trees (Figure 1b), and fat trees [35]; Section 2.2 shows
+the MPC model is an *asymmetric* star.  These builders produce
+:class:`~repro.topology.tree.TreeTopology` instances with systematic node
+names: compute nodes ``v1, v2, ...`` and routers ``w1, w2, ...`` (matching
+the paper's figures), so examples and tests read like the paper.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import TopologyError
+from repro.topology.tree import NodeId, TreeTopology
+
+
+def _bandwidth_list(
+    bandwidth: float | Sequence[float] | Mapping[int, float],
+    count: int,
+    what: str,
+) -> list[float]:
+    """Expand a scalar / sequence / index-map bandwidth spec to a list."""
+    if isinstance(bandwidth, Mapping):
+        missing = [i for i in range(count) if i not in bandwidth]
+        if missing:
+            raise TopologyError(f"missing {what} bandwidths for indices {missing}")
+        return [float(bandwidth[i]) for i in range(count)]
+    if isinstance(bandwidth, (int, float)):
+        return [float(bandwidth)] * count
+    values = [float(b) for b in bandwidth]
+    if len(values) != count:
+        raise TopologyError(
+            f"expected {count} {what} bandwidths, got {len(values)}"
+        )
+    return values
+
+
+def star(
+    num_compute: int,
+    bandwidth: float | Sequence[float] | Mapping[int, float] = 1.0,
+    *,
+    center: NodeId = "w",
+    prefix: str = "v",
+    name: str | None = None,
+) -> TreeTopology:
+    """A symmetric star: compute nodes ``v1..vp`` around router ``center``.
+
+    This is Figure 1a.  ``bandwidth`` may be a scalar (uniform links), a
+    sequence of per-node values, or a map from zero-based node index to
+    value (heterogeneous links).
+    """
+    if num_compute < 1:
+        raise TopologyError("a star needs at least one compute node")
+    bandwidths = _bandwidth_list(bandwidth, num_compute, "leaf")
+    computes = [f"{prefix}{i + 1}" for i in range(num_compute)]
+    edges = {(v, center): w for v, w in zip(computes, bandwidths)}
+    return TreeTopology.from_undirected(
+        edges, computes, name=name or f"star({num_compute})"
+    )
+
+
+def mpc_star(
+    num_compute: int,
+    *,
+    receive_bandwidth: float = 1.0,
+    prefix: str = "v",
+    center: NodeId = "o",
+) -> TreeTopology:
+    """The asymmetric star that captures the MPC model (Section 2.2).
+
+    Every compute-to-center direction has infinite bandwidth and every
+    center-to-compute direction has bandwidth ``receive_bandwidth``, so a
+    round's cost equals the maximum data *received* by any machine — the
+    MPC cost measure.
+    """
+    if num_compute < 1:
+        raise TopologyError("the MPC star needs at least one compute node")
+    computes = [f"{prefix}{i + 1}" for i in range(num_compute)]
+    edges: dict = {}
+    for v in computes:
+        edges[(v, center)] = math.inf
+        edges[(center, v)] = float(receive_bandwidth)
+    return TreeTopology(edges, computes, name=f"mpc-star({num_compute})")
+
+
+def two_level(
+    rack_sizes: Sequence[int],
+    *,
+    leaf_bandwidth: float | Sequence[float] = 1.0,
+    uplink_bandwidth: float | Sequence[float] = 1.0,
+    core: NodeId = "core",
+    name: str | None = None,
+) -> TreeTopology:
+    """A two-level tree: racks of compute nodes under routers, as Figure 1b.
+
+    ``rack_sizes[i]`` compute nodes hang off router ``w{i+1}``; all routers
+    connect to ``core``.  ``leaf_bandwidth`` applies to every leaf link (or
+    one value per rack); ``uplink_bandwidth`` to each router-core link.
+    """
+    if not rack_sizes or any(s < 1 for s in rack_sizes):
+        raise TopologyError("every rack must contain at least one compute node")
+    num_racks = len(rack_sizes)
+    leaf_bws = _bandwidth_list(leaf_bandwidth, num_racks, "leaf")
+    uplink_bws = _bandwidth_list(uplink_bandwidth, num_racks, "uplink")
+    edges: dict = {}
+    computes: list = []
+    index = 1
+    for rack, size in enumerate(rack_sizes):
+        router = f"w{rack + 1}"
+        edges[(router, core)] = uplink_bws[rack]
+        for _ in range(size):
+            leaf = f"v{index}"
+            index += 1
+            computes.append(leaf)
+            edges[(leaf, router)] = leaf_bws[rack]
+    return TreeTopology.from_undirected(
+        edges, computes, name=name or f"two-level{tuple(rack_sizes)}"
+    )
+
+
+def fat_tree(
+    depth: int,
+    fanout: int,
+    *,
+    leaf_bandwidth: float = 1.0,
+    level_scale: float = 2.0,
+    name: str | None = None,
+) -> TreeTopology:
+    """A complete fat tree [35]: bandwidth grows by ``level_scale`` per level.
+
+    ``depth`` counts router levels; the compute nodes are the
+    ``fanout**depth`` leaves.  ``leaf_bandwidth`` is the access-link
+    bandwidth, and a link ``k`` levels above the leaves has bandwidth
+    ``leaf_bandwidth * level_scale**k`` — the defining property of fat
+    trees (aggregate bandwidth preserved up the tree when
+    ``level_scale == fanout``... the default 2.0 models partial
+    oversubscription, common in real datacenters).
+    """
+    if depth < 1:
+        raise TopologyError("fat tree depth must be >= 1")
+    if fanout < 2:
+        raise TopologyError("fat tree fanout must be >= 2")
+    edges: dict = {}
+    computes: list = []
+    # Level 0 is the single core router; level `depth` holds the leaves.
+    previous = ["w1"]
+    router_count = 1
+    leaf_count = 0
+    for level in range(1, depth + 1):
+        bandwidth = leaf_bandwidth * (level_scale ** (depth - level))
+        current = []
+        for parent in previous:
+            for _ in range(fanout):
+                if level == depth:
+                    leaf_count += 1
+                    child = f"v{leaf_count}"
+                    computes.append(child)
+                else:
+                    router_count += 1
+                    child = f"w{router_count}"
+                current.append(child)
+                edges[(child, parent)] = bandwidth
+        previous = current
+    return TreeTopology.from_undirected(
+        edges, computes, name=name or f"fat-tree(d={depth},f={fanout})"
+    )
+
+
+def caterpillar(
+    spine_length: int,
+    leaves_per_spine: int,
+    *,
+    leaf_bandwidth: float = 1.0,
+    spine_bandwidth: float = 1.0,
+    name: str | None = None,
+) -> TreeTopology:
+    """A caterpillar: a router chain with compute leaves along the spine.
+
+    Useful as a high-diameter stress topology: every lower bound in the
+    paper maximizes over links, and the middle spine links of a
+    caterpillar see roughly half the data on each side.
+    """
+    if spine_length < 1 or leaves_per_spine < 1:
+        raise TopologyError("need at least one spine router and one leaf each")
+    edges: dict = {}
+    computes: list = []
+    leaf_index = 1
+    for i in range(spine_length):
+        router = f"w{i + 1}"
+        if i > 0:
+            edges[(f"w{i}", router)] = spine_bandwidth
+        for _ in range(leaves_per_spine):
+            leaf = f"v{leaf_index}"
+            leaf_index += 1
+            computes.append(leaf)
+            edges[(leaf, router)] = leaf_bandwidth
+    return TreeTopology.from_undirected(
+        edges,
+        computes,
+        name=name or f"caterpillar({spine_length}x{leaves_per_spine})",
+    )
+
+
+def from_parent_map(
+    parents: Mapping[NodeId, tuple[NodeId, float]],
+    compute_nodes: Iterable[NodeId],
+    *,
+    name: str | None = None,
+) -> TreeTopology:
+    """Build a symmetric tree from ``child -> (parent, bandwidth)`` entries."""
+    edges = {(child, parent): bw for child, (parent, bw) in parents.items()}
+    return TreeTopology.from_undirected(edges, compute_nodes, name=name)
+
+
+def random_tree(
+    num_nodes: int,
+    *,
+    seed: int = 0,
+    bandwidth_choices: Sequence[float] = (1.0, 2.0, 4.0, 8.0),
+    name: str | None = None,
+) -> TreeTopology:
+    """A uniformly random labelled tree with leaf compute nodes.
+
+    Generated from a random Pruefer sequence so all labelled trees on
+    ``num_nodes`` vertices are equally likely.  Leaves become compute
+    nodes (the w.l.o.g. form of Section 2.1); link bandwidths are drawn
+    uniformly from ``bandwidth_choices``.  Deterministic in ``seed``.
+    """
+    if num_nodes < 2:
+        raise TopologyError("a random tree needs at least two nodes")
+    rng = random.Random(seed)
+    labels = list(range(num_nodes))
+    if num_nodes == 2:
+        pairs = [(0, 1)]
+    else:
+        import heapq
+
+        pruefer = [rng.randrange(num_nodes) for _ in range(num_nodes - 2)]
+        degree = [1] * num_nodes
+        for x in pruefer:
+            degree[x] += 1
+        pairs = []
+        leaves_heap = [i for i in labels if degree[i] == 1]
+        heapq.heapify(leaves_heap)
+        for x in pruefer:
+            leaf = heapq.heappop(leaves_heap)
+            pairs.append((leaf, x))
+            degree[leaf] -= 1
+            degree[x] -= 1
+            if degree[x] == 1:
+                heapq.heappush(leaves_heap, x)
+        first = heapq.heappop(leaves_heap)
+        second = heapq.heappop(leaves_heap)
+        pairs.append((first, second))
+
+    adjacency: dict[int, set[int]] = {i: set() for i in labels}
+    for a, b in pairs:
+        adjacency[a].add(b)
+        adjacency[b].add(a)
+    leaves = [i for i in labels if len(adjacency[i]) == 1]
+
+    def node_name(i: int) -> str:
+        return f"n{i}"
+
+    edges = {
+        (node_name(a), node_name(b)): rng.choice(list(bandwidth_choices))
+        for a, b in pairs
+    }
+    computes = [node_name(i) for i in leaves]
+    return TreeTopology.from_undirected(
+        edges, computes, name=name or f"random-tree({num_nodes},seed={seed})"
+    )

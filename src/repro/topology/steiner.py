@@ -1,0 +1,70 @@
+"""Path and Steiner-edge oracle for routing on trees.
+
+The cost model charges a link once for every element routed through it.
+When a protocol multicasts the same element from a source to several
+destinations (R-tuples replicated across partition blocks in Algorithm 2;
+grid squares sharing a row range in Theorem 5), a sensible router forwards
+*one* copy along the shared prefix and fans out later — which is exactly
+what the paper's upper-bound analyses assume.  The set of links such a
+multicast touches is the Steiner tree of {source} ∪ destinations, directed
+away from the source; this oracle computes those edge sets and memoises
+them, because hashing-based protocols query the same (source,
+destination-set) pair for many elements.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from repro.topology.tree import DirectedEdge, TreeTopology
+
+
+class PathOracle:
+    """Memoised path / Steiner-edge queries against one topology."""
+
+    def __init__(self, tree: TreeTopology) -> None:
+        self._tree = tree
+        self._path_cache: dict[tuple, tuple[DirectedEdge, ...]] = {}
+        self._steiner_cache: dict[tuple, tuple[DirectedEdge, ...]] = {}
+
+    @property
+    def tree(self) -> TreeTopology:
+        return self._tree
+
+    def path_edges(self, src: Hashable, dst: Hashable) -> tuple[DirectedEdge, ...]:
+        """Directed edges on the unique path ``src -> dst`` (may be empty)."""
+        key = (src, dst)
+        cached = self._path_cache.get(key)
+        if cached is None:
+            cached = self._tree.path_edges(src, dst)
+            self._path_cache[key] = cached
+        return cached
+
+    def steiner_edges(
+        self, src: Hashable, dsts: Iterable[Hashable]
+    ) -> tuple[DirectedEdge, ...]:
+        """Directed edges a deduplicated multicast from ``src`` traverses.
+
+        This is the union of the directed paths from ``src`` to each
+        destination; because all paths share the source, the union is the
+        Steiner tree of the terminal set directed away from ``src``, and
+        each link appears at most once.
+        """
+        dst_key = frozenset(dsts)
+        key = (src, dst_key)
+        cached = self._steiner_cache.get(key)
+        if cached is None:
+            edges: dict[DirectedEdge, None] = {}
+            for dst in sorted(dst_key, key=lambda n: str(n)):
+                for edge in self.path_edges(src, dst):
+                    edges.setdefault(edge, None)
+            cached = tuple(edges)
+            self._steiner_cache[key] = cached
+        return cached
+
+    def cache_info(self) -> dict[str, int]:
+        """Cache sizes, for diagnostics."""
+        return {
+            "paths": len(self._path_cache),
+            "steiner": len(self._steiner_cache),
+        }

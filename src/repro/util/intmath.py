@@ -1,0 +1,65 @@
+"""Integer helpers used by the power-of-two packing machinery (Section 4).
+
+The cartesian-product algorithms size every square as a power of two so
+that four equal squares always merge into the next size up (Lemma 5).
+These helpers keep that arithmetic exact: floats are only accepted where
+the paper itself produces a real number (``w_v * L``), and the round-up to
+a power of two is performed with integer comparisons so no precision is
+lost near binade boundaries.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def ceil_div(numerator: int, denominator: int) -> int:
+    """Integer ceiling division for non-negative operands."""
+    if denominator <= 0:
+        raise ValueError(f"denominator must be positive, got {denominator}")
+    if numerator < 0:
+        raise ValueError(f"numerator must be non-negative, got {numerator}")
+    return -(-numerator // denominator)
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True iff ``value`` is a positive integral power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def ilog2(value: int) -> int:
+    """Exact base-2 logarithm of a power of two."""
+    if not is_power_of_two(value):
+        raise ValueError(f"{value} is not a positive power of two")
+    return value.bit_length() - 1
+
+
+def next_power_of_two(value: int) -> int:
+    """Smallest power of two that is >= ``value`` (``value`` >= 1)."""
+    if value < 1:
+        raise ValueError(f"value must be >= 1, got {value}")
+    return 1 << (value - 1).bit_length()
+
+
+def next_power_of_two_at_least(value: float) -> int:
+    """Smallest power of two >= a non-negative real ``value``.
+
+    This implements the paper's ``arg min_k {2^k >= x}`` (equation (1) and
+    Algorithm 5 line 11) for real-valued ``x``.  Values <= 1 map to 1: the
+    paper's squares have positive integral dimensions, and a square of
+    dimension 1 already holds a single grid cell.
+
+    Floating-point values immediately below a power of two are handled by
+    verifying the candidate with a direct comparison instead of trusting
+    ``math.log2`` rounding.
+    """
+    if math.isnan(value):
+        raise ValueError("value must not be NaN")
+    if math.isinf(value):
+        raise ValueError("value must be finite")
+    if value <= 1.0:
+        return 1
+    candidate = 1 << max(0, math.ceil(math.log2(value)) - 1)
+    while candidate < value:
+        candidate <<= 1
+    return candidate

@@ -1,0 +1,44 @@
+"""Minimal plain-text table rendering for reports and benchmark output."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_value(value) -> str:
+    """Human-friendly scalar formatting (floats trimmed, None blank)."""
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == float("inf"):
+            return "inf"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence], *, title: str | None = None
+) -> str:
+    """Render rows as a fixed-width text table with a rule under headers."""
+    materialized = [[format_value(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append("  ".join("-" * width for width in widths))
+    parts.extend(line(row) for row in materialized)
+    return "\n".join(parts)

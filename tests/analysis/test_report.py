@@ -1,0 +1,65 @@
+"""Unit tests for run reports and aggregation."""
+
+import pytest
+
+from repro.analysis.report import RunReport, aggregate, summarize_reports
+from repro.errors import AnalysisError
+
+
+def report(**overrides) -> RunReport:
+    defaults = dict(
+        task="sorting",
+        protocol="wts",
+        topology="star(4)",
+        placement="uniform",
+        input_size=100,
+        rounds=4,
+        cost=50.0,
+        lower_bound=25.0,
+    )
+    defaults.update(overrides)
+    return RunReport(**defaults)
+
+
+class TestRunReport:
+    def test_ratio(self):
+        assert report().ratio == 2.0
+
+    def test_zero_bound_zero_cost(self):
+        assert report(cost=0.0, lower_bound=0.0).ratio == 0.0
+
+    def test_zero_bound_positive_cost(self):
+        assert report(lower_bound=0.0).ratio == float("inf")
+
+    def test_as_row_lengths_match_headers(self):
+        from repro.analysis.report import REPORT_HEADERS
+
+        assert len(report().as_row()) == len(REPORT_HEADERS)
+
+
+class TestSummaries:
+    def test_summarize_renders_all_rows(self):
+        table = summarize_reports([report(), report(protocol="terasort")])
+        assert "wts" in table
+        assert "terasort" in table
+
+    def test_summarize_empty_raises(self):
+        with pytest.raises(AnalysisError):
+            summarize_reports([])
+
+    def test_aggregate_per_task(self):
+        rows = [
+            report(),
+            report(cost=100.0),
+            report(task="set-intersection", rounds=1, cost=30.0),
+        ]
+        summary = aggregate(rows)
+        assert summary["sorting"]["runs"] == 2
+        assert summary["sorting"]["max_rounds"] == 4
+        assert summary["sorting"]["max_ratio"] == 4.0
+        assert summary["set-intersection"]["max_rounds"] == 1
+
+    def test_aggregate_ignores_infinite_ratios_in_max(self):
+        rows = [report(), report(lower_bound=0.0)]
+        summary = aggregate(rows)
+        assert summary["sorting"]["max_ratio"] == 2.0

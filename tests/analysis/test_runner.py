@@ -1,0 +1,105 @@
+"""Unit tests for the experiment runners."""
+
+import pytest
+
+from repro.analysis.runner import (
+    CARTESIAN_PROTOCOLS,
+    INTERSECTION_PROTOCOLS,
+    SORTING_PROTOCOLS,
+    run_cartesian,
+    run_intersection,
+    run_sorting,
+)
+from repro.analysis.suites import (
+    instance_grid,
+    placement_policies,
+    standard_topologies,
+)
+from repro.data.generators import random_distribution
+from repro.errors import AnalysisError
+from repro.topology.builders import star, two_level
+
+
+@pytest.fixture
+def instance():
+    tree = two_level([2, 3], uplink_bandwidth=0.5)
+    dist = random_distribution(tree, r_size=100, s_size=100, seed=1)
+    return tree, dist
+
+
+class TestRunners:
+    def test_intersection_report_fields(self, instance):
+        tree, dist = instance
+        report = run_intersection(tree, dist, placement="uniform")
+        assert report.task == "set-intersection"
+        assert report.rounds == 1
+        assert report.lower_bound > 0
+        assert report.placement == "uniform"
+
+    def test_cartesian_report(self, instance):
+        tree, dist = instance
+        report = run_cartesian(tree, dist)
+        assert report.task == "cartesian-product"
+        assert report.cost >= 0
+
+    def test_sorting_report(self, instance):
+        tree, dist = instance
+        report = run_sorting(tree, dist)
+        assert report.task == "sorting"
+        assert report.rounds <= 4
+
+    @pytest.mark.parametrize("protocol", sorted(INTERSECTION_PROTOCOLS))
+    def test_all_intersection_protocols_run(self, instance, protocol):
+        tree, dist = instance
+        if protocol == "star":
+            tree = star(4)
+            dist = random_distribution(tree, r_size=50, s_size=50, seed=2)
+        report = run_intersection(tree, dist, protocol=protocol)
+        assert report.cost >= 0
+
+    @pytest.mark.parametrize("protocol", sorted(CARTESIAN_PROTOCOLS))
+    def test_all_cartesian_protocols_run(self, instance, protocol):
+        tree, dist = instance
+        if protocol == "star":
+            tree = star(4)
+            dist = random_distribution(tree, r_size=50, s_size=50, seed=2)
+        report = run_cartesian(tree, dist, protocol=protocol)
+        assert report.cost >= 0
+
+    @pytest.mark.parametrize("protocol", sorted(SORTING_PROTOCOLS))
+    def test_all_sorting_protocols_run(self, instance, protocol):
+        tree, dist = instance
+        report = run_sorting(tree, dist, protocol=protocol)
+        assert report.cost >= 0
+
+    def test_unknown_protocol_rejected(self, instance):
+        tree, dist = instance
+        with pytest.raises(AnalysisError, match="unknown protocol"):
+            run_intersection(tree, dist, protocol="bogus")
+
+    def test_verification_can_be_disabled(self, instance):
+        tree, dist = instance
+        report = run_intersection(tree, dist, verify=False)
+        assert report.cost >= 0
+
+
+class TestSuites:
+    def test_standard_topologies_are_symmetric(self):
+        for tree in standard_topologies():
+            assert tree.is_symmetric
+
+    def test_policies(self):
+        assert "uniform" in placement_policies()
+        assert "zipf" in placement_policies()
+
+    def test_instance_grid_covers_product(self):
+        instances = list(
+            instance_grid(r_size=20, s_size=20, include_random=False)
+        )
+        expected = len(standard_topologies(include_random=False)) * len(
+            placement_policies()
+        )
+        assert len(instances) == expected
+        for tree, policy, dist in instances:
+            assert dist.total("R") == 20
+            assert dist.total("S") == 20

@@ -1,0 +1,85 @@
+"""Unit tests for the sweep framework and ASCII charts."""
+
+import pytest
+
+from repro.analysis.sweeps import Sweep, ascii_chart
+from repro.errors import AnalysisError
+
+
+class TestSweep:
+    def test_add_and_series(self):
+        sweep = Sweep("test")
+        sweep.add("a", 1, 10)
+        sweep.add("a", 2, 20)
+        assert sweep.series["a"] == [(1.0, 10.0), (2.0, 20.0)]
+
+    def test_run_evaluates_runners(self):
+        sweep = Sweep().run(
+            [1, 2, 3], {"square": lambda x: x * x, "double": lambda x: 2 * x}
+        )
+        assert sweep.series["square"] == [(1, 1), (2, 4), (3, 9)]
+        assert sweep.series["double"] == [(1, 2), (2, 4), (3, 6)]
+
+    def test_ratios(self):
+        sweep = Sweep().run(
+            [1, 2, 4], {"cost": lambda x: 3 * x, "bound": lambda x: x}
+        )
+        assert sweep.ratios("cost", "bound") == [3.0, 3.0, 3.0]
+
+    def test_ratios_reject_mismatched_grids(self):
+        sweep = Sweep()
+        sweep.add("a", 1, 1)
+        sweep.add("b", 2, 1)
+        with pytest.raises(AnalysisError):
+            sweep.ratios("a", "b")
+
+    def test_ratio_with_zero_denominator(self):
+        sweep = Sweep()
+        sweep.add("a", 1, 5)
+        sweep.add("b", 1, 0)
+        assert sweep.ratios("a", "b") == [float("inf")]
+
+
+class TestAsciiChart:
+    def test_contains_markers_and_legend(self):
+        chart = ascii_chart(
+            {"one": [(0, 0), (1, 1)], "two": [(0, 1), (1, 0)]}
+        )
+        assert "o one" in chart
+        assert "x two" in chart
+        assert "o" in chart.splitlines()[0] or any(
+            "o" in line for line in chart.splitlines()
+        )
+
+    def test_axis_labels(self):
+        chart = ascii_chart({"s": [(10, 100), (1000, 5000)]})
+        assert "100" in chart  # y max label region
+        assert "1e+03" in chart or "1000" in chart
+
+    def test_title(self):
+        chart = ascii_chart({"s": [(0, 0), (1, 1)]}, title="My Chart")
+        assert chart.splitlines()[0] == "My Chart"
+
+    def test_log_scales(self):
+        chart = ascii_chart(
+            {"s": [(1, 1), (10, 100), (100, 10_000)]},
+            log_x=True,
+            log_y=True,
+        )
+        assert "s" in chart
+
+    def test_log_rejects_nonpositive(self):
+        with pytest.raises(AnalysisError):
+            ascii_chart({"s": [(0, 1)]}, log_x=True)
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            ascii_chart({})
+
+    def test_single_point(self):
+        chart = ascii_chart({"s": [(5, 5)]})
+        assert "s" in chart
+
+    def test_sweep_chart_wrapper(self):
+        sweep = Sweep("wrapped").run([1, 2], {"y": lambda x: x})
+        assert sweep.chart().splitlines()[0] == "wrapped"

@@ -1,0 +1,126 @@
+"""Unit tests for the topology-agnostic baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.gather import (
+    gather_cartesian_product,
+    gather_intersect,
+    gather_sort,
+)
+from repro.baselines.hypercube import (
+    _lattice_shape,
+    classic_hypercube_cartesian_product,
+)
+from repro.baselines.uniform_hash import uniform_hash_intersect
+from repro.core.sorting.ordering import verify_sorted_output
+from repro.data.distribution import Distribution
+from repro.data.generators import random_distribution
+from repro.topology.builders import star, two_level
+
+
+class TestUniformHash:
+    def test_correct_intersection(self, any_topology):
+        dist = random_distribution(any_topology, r_size=100, s_size=400, seed=1)
+        result = uniform_hash_intersect(any_topology, dist, seed=2)
+        expected = set(
+            np.intersect1d(dist.relation("R"), dist.relation("S")).tolist()
+        )
+        found: set = set()
+        for values in result.outputs.values():
+            found |= set(values.tolist())
+        assert found == expected
+
+    def test_single_round(self, simple_star):
+        dist = random_distribution(simple_star, r_size=50, s_size=50, seed=0)
+        assert uniform_hash_intersect(simple_star, dist).rounds == 1
+
+    def test_ignores_bandwidth(self):
+        fast = star(4, bandwidth=8.0)
+        slow = star(4, bandwidth=[8.0, 8.0, 8.0, 0.5])
+        dist = random_distribution(fast, r_size=200, s_size=200, seed=3)
+        fast_loads = uniform_hash_intersect(fast, dist, seed=1)
+        slow_loads = uniform_hash_intersect(slow, dist, seed=1)
+        # identical traffic, different cost: only the bandwidths differ
+        assert fast_loads.ledger.round_loads(0) == slow_loads.ledger.round_loads(0)
+        assert slow_loads.cost > fast_loads.cost
+
+
+class TestClassicHypercube:
+    def test_lattice_shape_prefers_balanced(self):
+        p1, p2 = _lattice_shape(16, 100, 100)
+        assert (p1, p2) == (4, 4)
+
+    def test_lattice_shape_skews_with_sizes(self):
+        p1, p2 = _lattice_shape(16, 1600, 100)
+        assert p1 > p2
+
+    def test_enumerates_all_pairs(self, any_topology):
+        dist = random_distribution(any_topology, r_size=50, s_size=50, seed=4)
+        result = classic_hypercube_cartesian_product(any_topology, dist)
+        produced = sum(o["num_pairs"] for o in result.outputs.values())
+        assert produced == 2500
+
+    def test_materialized_pairs(self, simple_star):
+        dist = random_distribution(simple_star, r_size=8, s_size=8, seed=5)
+        result = classic_hypercube_cartesian_product(
+            simple_star, dist, materialize=True
+        )
+        truth = {
+            (int(r), int(s))
+            for r in dist.relation("R")
+            for s in dist.relation("S")
+        }
+        found: set = set()
+        for output in result.outputs.values():
+            if "pairs" in output:
+                found |= {tuple(p) for p in output["pairs"].tolist()}
+        assert found == truth
+
+    def test_empty_relation(self, simple_star):
+        dist = Distribution({"v1": {"R": [1, 2], "S": []}})
+        result = classic_hypercube_cartesian_product(simple_star, dist)
+        assert sum(o["num_pairs"] for o in result.outputs.values()) == 0
+
+
+class TestGatherBaselines:
+    def test_gather_intersect(self, simple_two_level):
+        dist = random_distribution(
+            simple_two_level, r_size=60, s_size=120, seed=6
+        )
+        result = gather_intersect(simple_two_level, dist)
+        expected = set(
+            np.intersect1d(dist.relation("R"), dist.relation("S")).tolist()
+        )
+        assert set(result.outputs[result.meta["target"]].tolist()) == expected
+        assert result.rounds == 1
+
+    def test_gather_targets_data_rich_node(self, simple_two_level):
+        dist = random_distribution(
+            simple_two_level, r_size=100, s_size=100,
+            policy="single-heavy", seed=7,
+        )
+        sizes = {v: dist.size(v) for v in simple_two_level.compute_nodes}
+        result = gather_intersect(simple_two_level, dist)
+        assert sizes[result.meta["target"]] == max(sizes.values())
+
+    def test_gather_sort(self, simple_two_level):
+        dist = random_distribution(simple_two_level, r_size=200, s_size=0, seed=8)
+        result = gather_sort(simple_two_level, dist)
+        verify_sorted_output(
+            simple_two_level,
+            result.outputs,
+            result.meta["order"],
+            dist.relation("R"),
+        )
+
+    def test_gather_cartesian(self, simple_star):
+        dist = random_distribution(simple_star, r_size=30, s_size=30, seed=9)
+        result = gather_cartesian_product(simple_star, dist)
+        assert sum(o["num_pairs"] for o in result.outputs.values()) == 900
+
+    def test_explicit_target(self, simple_star):
+        dist = random_distribution(simple_star, r_size=20, s_size=20, seed=1)
+        result = gather_sort(simple_star, dist, target="v2")
+        assert result.meta["target"] == "v2"
+        assert len(result.outputs["v2"]) == 20

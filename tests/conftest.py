@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology.builders import caterpillar, fat_tree, star, two_level
+
+
+@pytest.fixture
+def simple_star():
+    """A 4-node star with heterogeneous bandwidths."""
+    return star(4, bandwidth=[1.0, 2.0, 4.0, 8.0])
+
+
+@pytest.fixture
+def simple_two_level():
+    """Figure 1b: two racks under a core router."""
+    return two_level([2, 3], leaf_bandwidth=2.0, uplink_bandwidth=1.0)
+
+
+@pytest.fixture(
+    params=[
+        ("star", lambda: star(5, bandwidth=[1, 2, 4, 2, 1])),
+        ("two-level", lambda: two_level([3, 2], uplink_bandwidth=0.5)),
+        ("fat-tree", lambda: fat_tree(2, 2)),
+        ("caterpillar", lambda: caterpillar(3, 2)),
+    ],
+    ids=lambda p: p[0],
+)
+def any_topology(request):
+    """One of each builder family, for protocol smoke tests."""
+    return request.param[1]()

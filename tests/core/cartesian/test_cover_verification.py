@@ -1,0 +1,74 @@
+"""Unit tests for the geometric coverage verifier (overlapping tiles)."""
+
+import pytest
+
+from repro.core.cartesian.packing import (
+    RectTile,
+    Tile,
+    assert_tiles_cover_grid,
+)
+from repro.errors import PackingError
+
+
+class TestAssertTilesCoverGrid:
+    def test_single_covering_tile(self):
+        assert_tiles_cover_grid({"a": Tile(0, 0, 8)}, 8, 8)
+
+    def test_exact_partition(self):
+        tiles = {
+            "a": Tile(0, 0, 4),
+            "b": Tile(4, 0, 4),
+            "c": Tile(0, 4, 4),
+            "d": Tile(4, 4, 4),
+        }
+        assert_tiles_cover_grid(tiles, 8, 8)
+
+    def test_overlapping_tiles_accepted(self):
+        tiles = {
+            "a": RectTile(0, 0, 6, 8),
+            "b": RectTile(4, 0, 4, 8),
+        }
+        assert_tiles_cover_grid(tiles, 8, 8)
+
+    def test_horizontal_hole_detected(self):
+        tiles = {"a": RectTile(0, 0, 4, 8), "b": RectTile(5, 0, 3, 8)}
+        with pytest.raises(PackingError, match="covered"):
+            assert_tiles_cover_grid(tiles, 8, 8)
+
+    def test_vertical_hole_detected(self):
+        tiles = {"a": RectTile(0, 0, 8, 3), "b": RectTile(0, 5, 8, 3)}
+        with pytest.raises(PackingError, match="covered up to row 3"):
+            assert_tiles_cover_grid(tiles, 8, 8)
+
+    def test_interior_gap_detected(self):
+        tiles = {
+            "a": RectTile(0, 0, 8, 2),
+            "b": RectTile(0, 6, 8, 2),
+            "c": RectTile(0, 2, 3, 4),  # covers rows 2..6 only for x<3
+        }
+        with pytest.raises(PackingError):
+            assert_tiles_cover_grid(tiles, 8, 8)
+
+    def test_overhang_beyond_grid_is_fine(self):
+        assert_tiles_cover_grid({"a": Tile(0, 0, 64)}, 5, 7)
+
+    def test_none_tiles_ignored(self):
+        assert_tiles_cover_grid({"a": Tile(0, 0, 8), "b": None}, 8, 8)
+
+    def test_empty_grid_trivially_covered(self):
+        assert_tiles_cover_grid({}, 0, 5)
+        assert_tiles_cover_grid({}, 5, 0)
+
+    def test_empty_tiles_on_nonempty_grid_fails(self):
+        with pytest.raises(PackingError):
+            assert_tiles_cover_grid({}, 2, 2)
+
+    def test_staircase_cover(self):
+        # L-shaped covers like the Appendix packer produces
+        tiles = {
+            "big": RectTile(0, 0, 4, 4),
+            "right": RectTile(4, 0, 4, 2),
+            "right2": RectTile(4, 2, 4, 2),
+            "top": RectTile(0, 4, 8, 4),
+        }
+        assert_tiles_cover_grid(tiles, 8, 8)

@@ -1,0 +1,67 @@
+"""Unit tests for the output-grid labelling."""
+
+import pytest
+
+from repro.core.cartesian.grid import GridLabeling
+from repro.data.distribution import Distribution
+from repro.errors import ProtocolError
+from repro.topology.builders import star
+
+
+@pytest.fixture
+def labeling():
+    tree = star(3)
+    dist = Distribution(
+        {
+            "v1": {"R": [10, 11], "S": [20]},
+            "v2": {"R": [12], "S": [21, 22, 23]},
+            "v3": {"R": [], "S": [24]},
+        }
+    )
+    return GridLabeling.from_distribution(tree, dist)
+
+
+class TestGridLabeling:
+    def test_totals(self, labeling):
+        assert labeling.r_total == 3
+        assert labeling.s_total == 5
+
+    def test_ranges_consecutive(self, labeling):
+        order = labeling.node_order
+        previous_end = 0
+        for node in order:
+            lo, hi = labeling.r_ranges[node]
+            assert lo == previous_end
+            previous_end = hi
+        assert previous_end == labeling.r_total
+
+    def test_empty_fragment_gets_empty_range(self, labeling):
+        lo, hi = labeling.r_ranges["v3"]
+        assert lo == hi
+
+    def test_axis_accessors(self, labeling):
+        assert labeling.ranges("r") == labeling.r_ranges
+        assert labeling.total("s") == 5
+        with pytest.raises(ProtocolError):
+            labeling.ranges("x")
+        with pytest.raises(ProtocolError):
+            labeling.total("q")
+
+    def test_owners_overlapping_full_span(self, labeling):
+        owners = list(labeling.owners_overlapping("s", 0, 5))
+        total = sum(hi - lo for (_, lo, hi) in owners)
+        assert total == 5
+
+    def test_owners_overlapping_partial(self, labeling):
+        # S labels: v1 -> [0,1), v2 -> [1,4), v3 -> [4,5)
+        owners = list(labeling.owners_overlapping("s", 2, 5))
+        assert owners == [("v2", 1, 3), ("v3", 0, 1)]
+
+    def test_owners_overlapping_empty_interval(self, labeling):
+        assert list(labeling.owners_overlapping("r", 2, 2)) == []
+
+    def test_local_slices_index_into_fragments(self, labeling):
+        # R label 2 belongs to v2 at local index 0.
+        ((node, lo, hi),) = list(labeling.owners_overlapping("r", 2, 3))
+        assert node == "v2"
+        assert (lo, hi) == (0, 1)

@@ -1,0 +1,119 @@
+"""Unit tests for the cartesian-product lower bounds (Theorems 3 and 4)."""
+
+import pytest
+
+from repro.core.cartesian.lower_bounds import (
+    cartesian_lower_bound,
+    cartesian_lower_bound_cover,
+    cartesian_lower_bound_flow,
+)
+from repro.data.distribution import Distribution
+from repro.topology.builders import star, two_level
+
+
+def balanced_star_instance(bandwidths):
+    tree = star(len(bandwidths), bandwidth=bandwidths)
+    n_per_node = 10
+    placements = {}
+    for i in range(1, len(bandwidths) + 1):
+        placements[f"v{i}"] = {
+            "R": list(range(i * 1000, i * 1000 + n_per_node // 2)),
+            "S": list(range(i * 2000, i * 2000 + n_per_node // 2)),
+        }
+    return tree, Distribution(placements)
+
+
+class TestFlowBound:
+    def test_balanced_star(self):
+        tree, dist = balanced_star_instance([1.0, 1.0, 1.0, 1.0])
+        bound = cartesian_lower_bound_flow(tree, dist)
+        # each leaf edge: min(10, 30) / 1 = 10
+        assert bound.value == 10.0
+
+    def test_slow_link_dominates(self):
+        tree, dist = balanced_star_instance([0.1, 1.0, 1.0, 1.0])
+        bound = cartesian_lower_bound_flow(tree, dist)
+        assert bound.value == 10 / 0.1
+        assert bound.bottleneck_edge == tree.canonical_edge("v1", "w")
+
+    def test_uplink_bottleneck(self):
+        tree = two_level([2, 2], leaf_bandwidth=5.0, uplink_bandwidth=0.5)
+        dist = Distribution(
+            {
+                "v1": {"R": list(range(10))},
+                "v3": {"S": list(range(100, 110))},
+            }
+        )
+        bound = cartesian_lower_bound_flow(tree, dist)
+        assert bound.value == 10 / 0.5
+
+    def test_empty_distribution(self):
+        tree = star(3)
+        bound = cartesian_lower_bound_flow(tree, Distribution({}))
+        assert bound.value == 0.0
+
+
+class TestCoverBound:
+    def test_uniform_star(self):
+        tree, dist = balanced_star_instance([1.0] * 4)
+        bound = cartesian_lower_bound_cover(tree, dist)
+        # root is the hub; best cover = the 4 leaves: N / sqrt(4) = 40/2
+        assert bound.value == pytest.approx(20.0)
+
+    def test_inapplicable_when_root_is_compute(self):
+        tree = star(3)
+        dist = Distribution(
+            {
+                "v1": {"R": list(range(100))},
+                "v2": {"S": [1]},
+                "v3": {"S": [2]},
+            }
+        )
+        bound = cartesian_lower_bound_cover(tree, dist)
+        assert bound.value == 0.0
+        assert "inapplicable" in bound.description
+
+    def test_cover_can_beat_flow(self):
+        # Uniform data, uniform bandwidth: flow gives N_v per edge, the
+        # counting bound gives N/sqrt(p) which is larger for p < (p/2)^2.
+        tree, dist = balanced_star_instance([1.0] * 9)
+        flow = cartesian_lower_bound_flow(tree, dist)
+        cover = cartesian_lower_bound_cover(tree, dist)
+        assert cover.value > flow.value
+
+    def test_internal_cover_on_three_racks(self):
+        # Very fast leaf links, slow uplinks, three racks each below
+        # half the data: G-dagger roots at the core and the best cover
+        # sits at the rack routers, bounded by the uplink bandwidths.
+        tree = two_level(
+            [2, 2, 2], leaf_bandwidth=100.0, uplink_bandwidth=1.0
+        )
+        dist = Distribution(
+            {
+                f"v{i}": {"R": list(range(i * 100, i * 100 + 5)),
+                          "S": list(range(i * 1000, i * 1000 + 5))}
+                for i in range(1, 7)
+            }
+        )
+        bound = cartesian_lower_bound_cover(tree, dist)
+        # N = 60, cover = {w1, w2, w3}: 60 / sqrt(3)
+        assert bound.value == pytest.approx(60 / 3**0.5)
+
+    def test_empty_distribution(self):
+        tree = star(3)
+        bound = cartesian_lower_bound_cover(tree, Distribution({}))
+        assert bound.value == 0.0
+
+
+class TestCombinedBound:
+    def test_takes_maximum(self):
+        tree, dist = balanced_star_instance([1.0] * 9)
+        combined = cartesian_lower_bound(tree, dist)
+        flow = cartesian_lower_bound_flow(tree, dist)
+        cover = cartesian_lower_bound_cover(tree, dist)
+        assert combined.value == max(flow.value, cover.value)
+
+    def test_description_names_the_winner(self):
+        tree, dist = balanced_star_instance([1.0] * 9)
+        combined = cartesian_lower_bound(tree, dist)
+        assert "Theorem 4" in combined.description

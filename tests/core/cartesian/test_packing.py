@@ -1,0 +1,149 @@
+"""Unit tests for the square merging and placement (Lemma 5 / Figure 4)."""
+
+import pytest
+
+from repro.core.cartesian.packing import (
+    RectTile,
+    Tile,
+    _SquareNode,
+    _leaf_squares,
+    coverage_report,
+    merge_pool,
+    pack_by_dagger,
+    pack_flat,
+)
+from repro.errors import PackingError
+from repro.topology.builders import star, two_level
+from repro.topology.dagger import build_dagger
+
+
+class TestTile:
+    def test_ranges_clip_to_grid(self):
+        tile = Tile(x0=6, y0=0, size=4)
+        assert tile.r_range(8) == (6, 8)
+        assert tile.s_range(8) == (0, 4)
+
+    def test_fully_outside_grid(self):
+        tile = Tile(x0=10, y0=10, size=4)
+        assert tile.clipped_area(8, 8) == 0
+
+    def test_rect_tile_ranges(self):
+        tile = RectTile(x0=2, y0=3, width=5, height=1)
+        assert tile.r_range(4) == (2, 4)
+        assert tile.s_range(10) == (3, 4)
+        assert tile.clipped_area(4, 10) == 2
+
+    def test_width_height_of_square(self):
+        tile = Tile(0, 0, 8)
+        assert tile.width == tile.height == 8
+
+
+class TestMergePool:
+    def test_four_merge_into_one(self):
+        squares = [_SquareNode(2, owner=i) for i in range(4)]
+        merged = merge_pool(squares)
+        assert len(merged) == 1
+        assert merged[0].size == 4
+
+    def test_at_most_three_per_size(self):
+        squares = [_SquareNode(1, owner=i) for i in range(23)]
+        merged = merge_pool(squares)
+        counts: dict[int, int] = {}
+        for square in merged:
+            counts[square.size] = counts.get(square.size, 0) + 1
+        assert all(count <= 3 for count in counts.values())
+
+    def test_cascading_merges(self):
+        squares = [_SquareNode(1, owner=i) for i in range(16)]
+        merged = merge_pool(squares)
+        assert len(merged) == 1
+        assert merged[0].size == 4
+
+    def test_total_area_preserved(self):
+        squares = [_SquareNode(2 ** (i % 3), owner=i) for i in range(11)]
+        before = sum(s.size**2 for s in squares)
+        merged = merge_pool(squares)
+        assert sum(s.size**2 for s in merged) == before
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(PackingError):
+            merge_pool([_SquareNode(3, owner=0)])
+
+
+class TestPackFlat:
+    def test_tiles_disjoint_and_cover(self):
+        dims = {f"v{i}": 4 for i in range(1, 5)}
+        tiles = pack_flat(dims, 8, 8)
+        report = coverage_report(tiles, 8, 8)
+        assert report["grid_cells"] == 64
+        cells = set()
+        for tile in tiles.values():
+            assert tile is not None
+            for x in range(*tile.r_range(8)):
+                for y in range(*tile.s_range(8)):
+                    assert (x, y) not in cells
+                    cells.add((x, y))
+        assert len(cells) == 64
+
+    def test_unused_leftovers_marked_none(self):
+        dims = {"a": 8, "b": 1}  # the size-1 square cannot join the 8-square
+        tiles = pack_flat(dims, 8, 8)
+        assert tiles["a"] is not None
+        assert tiles["b"] is None
+
+    def test_insufficient_area_raises(self):
+        with pytest.raises(PackingError, match="cover"):
+            pack_flat({"a": 2, "b": 2}, 8, 8)
+
+    def test_heterogeneous_sizes(self):
+        dims = {"a": 4, "b": 2, "c": 2, "d": 2, "e": 2, "f": 4, "g": 4, "h": 4}
+        tiles = pack_flat(dims, 8, 8)
+        coverage_report(tiles, 8, 8)  # must not raise
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(PackingError):
+            pack_flat({}, 4, 4)
+
+
+class TestPackByDagger:
+    def test_matches_grid_on_two_level(self):
+        tree = two_level([2, 2])
+        dagger = build_dagger(tree, {f"v{i}": 10 for i in range(1, 5)})
+        dims = {f"v{i}": 4 for i in range(1, 5)}
+        tiles = pack_by_dagger(dagger, dims, 8, 8)
+        coverage_report(tiles, 8, 8)
+
+    def test_subtree_tiles_are_grouped(self):
+        # Rack 1's two squares merge together before meeting rack 2's,
+        # so they occupy one contiguous 2x-square region.
+        tree = two_level([2, 2])
+        dagger = build_dagger(tree, {f"v{i}": 10 for i in range(1, 5)})
+        dims = {f"v{i}": 4 for i in range(1, 5)}
+        tiles = pack_by_dagger(dagger, dims, 8, 8)
+        rack_one = [tiles["v1"], tiles["v2"]]
+        xs = sorted(t.x0 for t in rack_one)
+        ys = sorted(t.y0 for t in rack_one)
+        # the two tiles are adjacent: they fit inside one 8x... 4x8 or 8x4 box
+        assert (xs[1] - xs[0], ys[1] - ys[0]) in {(0, 4), (4, 0)}
+
+    def test_on_star_equals_flat_coverage(self):
+        tree = star(4)
+        dagger = build_dagger(tree, {f"v{i}": 5 for i in range(1, 5)})
+        dims = {f"v{i}": 4 for i in range(1, 5)}
+        by_dagger = pack_by_dagger(dagger, dims, 8, 8)
+        flat = pack_flat(dims, 8, 8)
+        assert coverage_report(by_dagger, 8, 8) == coverage_report(flat, 8, 8)
+
+
+class TestCoverageReport:
+    def test_detects_hole(self):
+        tiles = {"a": Tile(0, 0, 4)}
+        with pytest.raises(PackingError, match="cover"):
+            coverage_report(tiles, 8, 8)
+
+    def test_reports_utilization(self):
+        tiles = {"a": Tile(0, 0, 8)}
+        report = coverage_report(tiles, 6, 6)
+        assert report["grid_cells"] == 36
+        assert report["overhang_cells"] == 64 - 36
+        assert report["utilization"] == pytest.approx(36 / 64)

@@ -1,0 +1,124 @@
+"""Unit tests for the shrink pass and the axis-segment routing helper."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cartesian.packing import (
+    RectTile,
+    Tile,
+    shrink_dimensions,
+)
+from repro.core.cartesian.routing import axis_segments
+from repro.errors import PackingError
+from repro.util.intmath import is_power_of_two
+
+
+class TestShrinkDimensions:
+    def test_keeps_area_above_requirement(self):
+        dims = {f"v{i}": 8192 for i in range(8)}
+        shrunk = shrink_dimensions(dims, 12_000**2)
+        assert sum(d * d for d in shrunk.values()) >= 12_000**2
+
+    def test_never_grows(self):
+        dims = {"a": 64, "b": 32, "c": 16}
+        shrunk = shrink_dimensions(dims, 1)
+        for node in dims:
+            assert shrunk[node] <= dims[node]
+
+    def test_reduces_maximum_when_budget_allows(self):
+        # 8 * 8192^2 = 537M against a 64M budget: every square can
+        # halve at least once, so the maximum must come down.
+        dims = {f"v{i}": 8192 for i in range(8)}
+        shrunk = shrink_dimensions(dims, 8_000**2)
+        assert max(shrunk.values()) < 8192
+
+    def test_stops_at_first_infeasible_maximum(self):
+        # 144M budget: only seven of the eight 8192-squares can halve;
+        # the eighth must stay, and the pass stops there by design.
+        dims = {f"v{i}": 8192 for i in range(8)}
+        shrunk = shrink_dimensions(dims, 12_000**2)
+        at_max = [v for v, d in shrunk.items() if d == 8192]
+        assert len(at_max) == 1
+        assert sum(d * d for d in shrunk.values()) >= 12_000**2
+
+    def test_stays_balanced(self):
+        # Only current-maximum squares are halved, so dims never spread
+        # by more than one extra binade relative to the input spread.
+        dims = {"a": 512, "b": 512, "c": 64, "d": 64}
+        shrunk = shrink_dimensions(dims, 512 * 512)
+        assert min(shrunk["a"], shrunk["b"]) >= shrunk["c"]
+
+    def test_noop_when_tight(self):
+        dims = {"a": 4, "b": 4}
+        assert shrink_dimensions(dims, 32) == dims
+
+    def test_dims_stay_powers_of_two(self):
+        dims = {f"v{i}": 2 ** (5 + i % 3) for i in range(9)}
+        shrunk = shrink_dimensions(dims, 500)
+        assert all(is_power_of_two(d) for d in shrunk.values())
+
+    def test_minimum_dimension_is_one(self):
+        shrunk = shrink_dimensions({"a": 8}, 0)
+        assert shrunk["a"] == 1
+
+    @given(
+        dims=st.lists(
+            st.integers(0, 8).map(lambda k: 2**k), min_size=1, max_size=10
+        ),
+        requirement=st.integers(0, 4096),
+    )
+    @settings(max_examples=100)
+    def test_invariants_on_random_pools(self, dims, requirement):
+        pool = {f"v{i}": d for i, d in enumerate(dims)}
+        initial_area = sum(d * d for d in dims)
+        shrunk = shrink_dimensions(pool, requirement)
+        area = sum(d * d for d in shrunk.values())
+        if initial_area >= requirement:
+            assert area >= requirement
+        for node in pool:
+            assert 1 <= shrunk[node] <= pool[node]
+            assert is_power_of_two(shrunk[node])
+
+
+class TestAxisSegments:
+    def test_single_tile_single_segment(self):
+        segments = axis_segments({"a": Tile(0, 0, 8)}, "r", 8)
+        assert segments == [(0, 8, frozenset({"a"}))]
+
+    def test_stacked_tiles_share_column_range(self):
+        tiles = {"a": Tile(0, 0, 4), "b": Tile(0, 4, 4)}
+        segments = axis_segments(tiles, "r", 4)
+        assert segments == [(0, 4, frozenset({"a", "b"}))]
+
+    def test_adjacent_tiles_split_segments(self):
+        tiles = {"a": Tile(0, 0, 4), "b": Tile(4, 0, 4)}
+        segments = axis_segments(tiles, "r", 8)
+        assert segments == [
+            (0, 4, frozenset({"a"})),
+            (4, 8, frozenset({"b"})),
+        ]
+
+    def test_partial_overlap_produces_three_segments(self):
+        tiles = {
+            "a": RectTile(0, 0, 6, 1),
+            "b": RectTile(4, 0, 4, 1),
+        }
+        segments = axis_segments(tiles, "r", 8)
+        assert segments == [
+            (0, 4, frozenset({"a"})),
+            (4, 6, frozenset({"a", "b"})),
+            (6, 8, frozenset({"b"})),
+        ]
+
+    def test_uncovered_labels_raise(self):
+        with pytest.raises(PackingError, match="no destination"):
+            axis_segments({"a": Tile(0, 0, 4)}, "r", 8)
+
+    def test_none_tiles_ignored(self):
+        tiles = {"a": Tile(0, 0, 8), "b": None}
+        segments = axis_segments(tiles, "s", 8)
+        assert segments == [(0, 8, frozenset({"a"}))]
+
+    def test_clipping_to_grid(self):
+        segments = axis_segments({"a": Tile(0, 0, 16)}, "r", 5)
+        assert segments == [(0, 5, frozenset({"a"}))]

@@ -1,0 +1,113 @@
+"""Unit tests for Algorithm 5 and the Lemma 8 invariants."""
+
+import math
+
+import pytest
+
+from repro.core.cartesian.tree_packing import balanced_packing_tree
+from repro.errors import ProtocolError
+from repro.topology.builders import fat_tree, star, two_level
+from repro.topology.dagger import build_dagger, optimal_cover
+from repro.util.intmath import is_power_of_two
+
+
+def make_plan(tree, weights=None):
+    weights = weights or {v: 10 for v in tree.compute_nodes}
+    dagger = build_dagger(tree, weights)
+    total = sum(weights.values())
+    return dagger, balanced_packing_tree(dagger, total), total
+
+
+TOPOLOGIES = [
+    star(4, bandwidth=[1, 2, 4, 8]),
+    two_level([2, 3], leaf_bandwidth=[4.0, 1.0], uplink_bandwidth=[1.0, 2.0]),
+    fat_tree(2, 2),
+    two_level([3, 3], uplink_bandwidth=0.25),
+]
+
+
+class TestLemma8:
+    @pytest.mark.parametrize("tree", TOPOLOGIES, ids=lambda t: t.name)
+    def test_property1_wtilde_capped_by_own_link(self, tree):
+        dagger, plan, _ = make_plan(tree)
+        for node, value in plan.wtilde.items():
+            if node != dagger.root:
+                assert value <= dagger.out_bandwidth[node] + 1e-12
+
+    @pytest.mark.parametrize("tree", TOPOLOGIES, ids=lambda t: t.name)
+    def test_property2_share_capped(self, tree):
+        dagger, plan, _ = make_plan(tree)
+        root_value = plan.wtilde[dagger.root]
+        for node, share in plan.share.items():
+            assert share <= plan.wtilde[node] / root_value + 1e-12
+
+    @pytest.mark.parametrize("tree", TOPOLOGIES, ids=lambda t: t.name)
+    def test_property3_wtilde_root_is_optimal_cover_value(self, tree):
+        dagger, plan, _ = make_plan(tree)
+        _, cover_value = optimal_cover(dagger)
+        assert plan.wtilde[dagger.root] == pytest.approx(cover_value)
+
+    @pytest.mark.parametrize("tree", TOPOLOGIES, ids=lambda t: t.name)
+    def test_property4_shares_square_to_one(self, tree):
+        _, plan, _ = make_plan(tree)
+        total = sum(
+            plan.share[v] ** 2
+            for v in plan.dims  # compute leaves
+        )
+        assert total == pytest.approx(1.0)
+
+
+class TestDimensions:
+    @pytest.mark.parametrize("tree", TOPOLOGIES, ids=lambda t: t.name)
+    def test_dims_are_powers_of_two(self, tree):
+        _, plan, _ = make_plan(tree)
+        for dim in plan.dims.values():
+            assert is_power_of_two(dim)
+
+    @pytest.mark.parametrize("tree", TOPOLOGIES, ids=lambda t: t.name)
+    def test_dims_within_analysis_envelope(self, tree):
+        # Upper bound d_v <= 2 N l_v is what the per-link analysis uses;
+        # the shrink pass may lower dims below N l_v, but never above.
+        _, plan, total = make_plan(tree)
+        for node, dim in plan.dims.items():
+            assert dim <= max(1, 2 * total * plan.share[node])
+
+    @pytest.mark.parametrize("tree", TOPOLOGIES, ids=lambda t: t.name)
+    def test_total_area_covers_grid(self, tree):
+        _, plan, total = make_plan(tree)
+        assert sum(d * d for d in plan.dims.values()) >= total * total
+
+    def test_dimension_accessor(self):
+        tree = star(3)
+        _, plan, _ = make_plan(tree)
+        assert plan.dimension("v1") == plan.dims["v1"]
+
+
+class TestPreconditions:
+    def test_rejects_compute_root(self):
+        tree = star(3)
+        dagger = build_dagger(tree, {"v1": 100, "v2": 1, "v3": 1})
+        assert dagger.root_is_compute
+        with pytest.raises(ProtocolError, match="router"):
+            balanced_packing_tree(dagger, 102)
+
+    def test_rejects_empty_input(self):
+        tree = star(3)
+        dagger = build_dagger(tree, {v: 1 for v in tree.compute_nodes})
+        with pytest.raises(ProtocolError, match="non-empty"):
+            balanced_packing_tree(dagger, 0)
+
+    def test_rejects_infinite_leaf_bandwidth(self):
+        tree = star(3, bandwidth=[1.0, 1.0, math.inf])
+        dagger = build_dagger(tree, {v: 2 for v in tree.compute_nodes})
+        with pytest.raises(ProtocolError, match="infinite"):
+            balanced_packing_tree(dagger, 6)
+
+    def test_prunes_compute_free_subtrees(self):
+        # A dangling high-bandwidth router leaf must not dilute shares.
+        tree = two_level([2, 1], leaf_bandwidth=1.0, uplink_bandwidth=100.0)
+        pruned_tree = tree.with_compute_nodes(["v1", "v2"])  # v3 now a router
+        dagger = build_dagger(pruned_tree, {"v1": 10, "v2": 10})
+        plan = balanced_packing_tree(dagger, 20)
+        assert set(plan.dims) == {"v1", "v2"}
+        assert sum(plan.share[v] ** 2 for v in plan.dims) == pytest.approx(1.0)

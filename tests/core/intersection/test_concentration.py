@@ -1,0 +1,66 @@
+"""Statistical validation of the 'with high probability' claims.
+
+Theorem 2 bounds TreeIntersect's cost w.h.p. over the random hash
+functions.  These tests run the protocol across many independent seeds
+on a fixed instance and check that *every* run stays within a small
+constant of the Theorem 1 bound — the empirical counterpart of the
+w.h.p. statement (a single bad seed would fail the suite).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.intersection.lower_bound import intersection_lower_bound
+from repro.core.intersection.tree import tree_intersect
+from repro.core.sorting.lower_bound import sorting_lower_bound
+from repro.core.sorting.wts import weighted_terasort
+from repro.data.generators import (
+    adversarial_sorted_distribution,
+    random_distribution,
+)
+from repro.topology.builders import two_level
+
+NUM_SEEDS = 30
+
+
+class TestIntersectionConcentration:
+    @pytest.fixture(scope="class")
+    def instance(self):
+        tree = two_level([3, 3], uplink_bandwidth=0.5)
+        dist = random_distribution(
+            tree, r_size=1_000, s_size=6_000, policy="zipf", seed=41
+        )
+        return tree, dist
+
+    def test_every_seed_within_constant_of_bound(self, instance):
+        tree, dist = instance
+        bound = intersection_lower_bound(tree, dist).value
+        costs = [
+            tree_intersect(tree, dist, seed=seed).cost
+            for seed in range(NUM_SEEDS)
+        ]
+        assert max(costs) <= 6 * bound, max(costs) / bound
+
+    def test_costs_concentrate(self, instance):
+        tree, dist = instance
+        costs = np.array(
+            [
+                tree_intersect(tree, dist, seed=seed).cost
+                for seed in range(NUM_SEEDS)
+            ]
+        )
+        # spread across seeds stays tight: max within 1.5x of median
+        assert costs.max() <= 1.5 * np.median(costs)
+
+
+class TestSortingConcentration:
+    def test_every_seed_within_constant_of_bound(self):
+        tree = two_level([3, 3], uplink_bandwidth=0.5)
+        dist = adversarial_sorted_distribution(tree, total=20_000)
+        bound = sorting_lower_bound(tree, dist).value
+        costs = [
+            weighted_terasort(tree, dist, seed=seed).cost
+            for seed in range(NUM_SEEDS)
+        ]
+        assert max(costs) <= 4 * bound
+        assert max(costs) <= 1.5 * float(np.median(costs))

@@ -1,0 +1,121 @@
+"""Unit tests for traversal-order validity and output verification."""
+
+import numpy as np
+import pytest
+
+from repro.core.sorting.ordering import (
+    is_valid_compute_order,
+    verify_sorted_output,
+)
+from repro.errors import ProtocolError
+from repro.topology.builders import star, two_level
+
+
+class TestIsValidComputeOrder:
+    def test_canonical_order_is_valid(self, simple_two_level):
+        order = simple_two_level.left_to_right_compute_order()
+        assert is_valid_compute_order(simple_two_level, order)
+
+    def test_all_rootings_are_valid(self, simple_two_level):
+        for root in simple_two_level.nodes:
+            order = simple_two_level.left_to_right_compute_order(root)
+            assert is_valid_compute_order(simple_two_level, order)
+
+    def test_rack_interleaving_is_invalid(self, simple_two_level):
+        # v1, v2 share a rack; separating them by v3 breaks contiguity.
+        assert not is_valid_compute_order(
+            simple_two_level, ["v1", "v3", "v2", "v4", "v5"]
+        )
+
+    def test_any_order_valid_on_star(self):
+        tree = star(4)
+        assert is_valid_compute_order(tree, ["v3", "v1", "v4", "v2"])
+
+    def test_missing_node_invalid(self, simple_two_level):
+        assert not is_valid_compute_order(simple_two_level, ["v1", "v2"])
+
+    def test_duplicate_node_invalid(self, simple_two_level):
+        assert not is_valid_compute_order(
+            simple_two_level, ["v1", "v1", "v2", "v3", "v4"]
+        )
+
+    def test_rotation_is_valid(self, simple_two_level):
+        # rotations correspond to re-rooting the traversal
+        order = simple_two_level.left_to_right_compute_order()
+        rotated = order[2:] + order[:2]
+        assert is_valid_compute_order(simple_two_level, rotated)
+
+
+class TestVerifySortedOutput:
+    def setup_method(self):
+        self.tree = star(3)
+        self.order = ["v1", "v2", "v3"]
+
+    def test_accepts_correct_output(self):
+        verify_sorted_output(
+            self.tree,
+            {"v1": np.array([1, 2]), "v2": np.array([3]), "v3": np.array([4, 5])},
+            self.order,
+            np.array([5, 4, 3, 2, 1]),
+        )
+
+    def test_accepts_empty_nodes(self):
+        verify_sorted_output(
+            self.tree,
+            {"v1": np.array([1, 2, 3])},
+            self.order,
+            np.array([3, 1, 2]),
+        )
+
+    def test_rejects_unsorted_run(self):
+        with pytest.raises(ProtocolError, match="unsorted"):
+            verify_sorted_output(
+                self.tree,
+                {"v1": np.array([2, 1])},
+                self.order,
+                np.array([1, 2]),
+            )
+
+    def test_rejects_out_of_order_runs(self):
+        with pytest.raises(ProtocolError, match="earlier node"):
+            verify_sorted_output(
+                self.tree,
+                {"v1": np.array([3, 4]), "v2": np.array([1, 2])},
+                self.order,
+                np.array([1, 2, 3, 4]),
+            )
+
+    def test_rejects_lost_elements(self):
+        with pytest.raises(ProtocolError, match="permutation"):
+            verify_sorted_output(
+                self.tree,
+                {"v1": np.array([1])},
+                self.order,
+                np.array([1, 2]),
+            )
+
+    def test_rejects_invented_elements(self):
+        with pytest.raises(ProtocolError, match="permutation"):
+            verify_sorted_output(
+                self.tree,
+                {"v1": np.array([1, 2, 99])},
+                self.order,
+                np.array([1, 2]),
+            )
+
+    def test_rejects_invalid_order(self, simple_two_level):
+        with pytest.raises(ProtocolError, match="not a valid traversal"):
+            verify_sorted_output(
+                simple_two_level,
+                {},
+                ["v1", "v3", "v2", "v4", "v5"],
+                np.array([]),
+            )
+
+    def test_accepts_duplicates_within_node(self):
+        verify_sorted_output(
+            self.tree,
+            {"v1": np.array([1, 1, 2]), "v2": np.array([2, 3])},
+            self.order,
+            np.array([2, 1, 1, 3, 2]),
+        )

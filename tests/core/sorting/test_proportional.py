@@ -1,0 +1,87 @@
+"""Unit tests for Algorithm 6 and the Lemma 9 guarantees."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.sorting.proportional import proportional_quotas
+
+
+class TestBasics:
+    def test_exact_proportions(self):
+        assert proportional_quotas([10, 20, 30], 6) == [1, 2, 3]
+
+    def test_total_at_least_light_size(self):
+        quotas = proportional_quotas([7, 13, 5], 23)
+        assert sum(quotas) >= 23
+
+    def test_zero_light_size(self):
+        assert proportional_quotas([5, 5], 0) == [0, 0]
+
+    def test_single_heavy_node(self):
+        assert proportional_quotas([42], 17) == [17]
+
+    def test_rejects_no_heavy_data(self):
+        with pytest.raises(ValueError):
+            proportional_quotas([0, 0], 5)
+
+    def test_rejects_negative_inputs(self):
+        with pytest.raises(ValueError):
+            proportional_quotas([-1, 2], 5)
+        with pytest.raises(ValueError):
+            proportional_quotas([1, 2], -5)
+
+    def test_zero_weight_heavy_node_gets_nothing_extra(self):
+        quotas = proportional_quotas([0, 10], 10)
+        assert quotas[0] <= 1  # at most the rounding slack
+
+
+HEAVY = st.lists(st.integers(0, 1000), min_size=1, max_size=12).filter(
+    lambda sizes: sum(sizes) > 0
+)
+
+
+class TestLemma9:
+    @given(heavy=HEAVY, light=st.integers(0, 500))
+    @settings(max_examples=200)
+    def test_property1_prefix_within_one(self, heavy, light):
+        quotas = proportional_quotas(heavy, light)
+        total = sum(heavy)
+        prefix = 0
+        ideal_prefix = 0.0
+        for quota, size in zip(quotas, heavy):
+            prefix += quota
+            ideal_prefix += size / total * light
+            assert prefix - 1 <= ideal_prefix + 1e-9
+            assert ideal_prefix <= prefix + 1e-9
+
+    @given(
+        heavy=HEAVY,
+        light=st.integers(0, 500),
+        data=st.data(),
+    )
+    @settings(max_examples=200)
+    def test_property2_range_within_one(self, heavy, light, data):
+        quotas = proportional_quotas(heavy, light)
+        total = sum(heavy)
+        i = data.draw(st.integers(0, len(heavy) - 1))
+        j = data.draw(st.integers(i, len(heavy) - 1))
+        range_quota = sum(quotas[i : j + 1])
+        ideal = sum(heavy[i : j + 1]) / total * light
+        assert range_quota <= ideal + 1 + 1e-9
+
+    @given(heavy=HEAVY, light=st.integers(0, 500))
+    @settings(max_examples=200)
+    def test_property3_quotas_suffice(self, heavy, light):
+        assert sum(proportional_quotas(heavy, light)) >= light
+
+    @given(heavy=HEAVY, light=st.integers(0, 500))
+    @settings(max_examples=100)
+    def test_credit_never_negative(self, heavy, light):
+        # equivalent statement: every quota is floor(ideal) or floor+1
+        import math
+
+        quotas = proportional_quotas(heavy, light)
+        total = sum(heavy)
+        for quota, size in zip(quotas, heavy):
+            ideal = size / total * light
+            assert quota in (math.floor(ideal), math.floor(ideal) + 1)

@@ -1,0 +1,112 @@
+"""Unit tests for the Distribution container."""
+
+import numpy as np
+import pytest
+
+from repro.data.distribution import Distribution
+from repro.errors import DistributionError
+from repro.topology.builders import star
+
+
+def sample_distribution():
+    return Distribution(
+        {
+            "v1": {"R": [1, 2, 3], "S": [10, 11]},
+            "v2": {"R": [4], "S": []},
+            "v3": {},
+        }
+    )
+
+
+class TestAccessors:
+    def test_tags(self):
+        assert sample_distribution().tags == frozenset({"R", "S"})
+
+    def test_nodes_include_empty(self):
+        assert sample_distribution().nodes == frozenset({"v1", "v2", "v3"})
+
+    def test_fragment_returns_copy(self):
+        dist = sample_distribution()
+        fragment = dist.fragment("v1", "R")
+        fragment[0] = 99
+        assert dist.fragment("v1", "R")[0] == 1
+
+    def test_fragment_of_absent_tag_is_empty(self):
+        assert len(sample_distribution().fragment("v2", "S")) == 0
+
+    def test_fragment_of_unknown_node_is_empty(self):
+        assert len(sample_distribution().fragment("ghost", "R")) == 0
+
+    def test_size_per_tag(self):
+        dist = sample_distribution()
+        assert dist.size("v1", "R") == 3
+        assert dist.size("v1", "S") == 2
+
+    def test_size_total_per_node(self):
+        assert sample_distribution().size("v1") == 5
+
+    def test_sizes_dict(self):
+        assert sample_distribution().sizes("R") == {"v1": 3, "v2": 1, "v3": 0}
+
+    def test_total(self):
+        dist = sample_distribution()
+        assert dist.total("R") == 4
+        assert dist.total() == 6
+
+    def test_relation_concatenates_in_node_order(self):
+        values = sample_distribution().relation("R")
+        assert sorted(values.tolist()) == [1, 2, 3, 4]
+
+    def test_rejects_two_dimensional_fragment(self):
+        with pytest.raises(DistributionError):
+            Distribution({"v1": {"R": [[1, 2], [3, 4]]}})
+
+
+class TestValidation:
+    def test_validate_for_accepts_compute_placement(self):
+        tree = star(3)
+        Distribution({"v1": {"R": [1]}}).validate_for(tree)
+
+    def test_validate_for_rejects_router_placement(self):
+        tree = star(3)
+        with pytest.raises(DistributionError, match="non-compute"):
+            Distribution({"w": {"R": [1]}}).validate_for(tree)
+
+    def test_validate_for_allows_empty_stray(self):
+        tree = star(3)
+        Distribution({"w": {}}).validate_for(tree)
+
+    def test_require_partition_accepts_disjoint(self):
+        sample_distribution().require_partition("R")
+
+    def test_require_partition_rejects_duplicates(self):
+        dist = Distribution({"v1": {"R": [1, 2]}, "v2": {"R": [2]}})
+        with pytest.raises(DistributionError, match="duplicated"):
+            dist.require_partition("R")
+
+
+class TestDerivation:
+    def test_remap_moves_fragments(self):
+        dist = sample_distribution().remap({"v1": "x"})
+        assert dist.size("x", "R") == 3
+        assert dist.size("v1", "R") == 0
+
+    def test_remap_rejects_merging(self):
+        with pytest.raises(DistributionError, match="merges"):
+            sample_distribution().remap({"v1": "v2"})
+
+    def test_restrict_drops_tags(self):
+        dist = sample_distribution().restrict(["R"])
+        assert dist.tags == frozenset({"R"})
+        assert dist.total() == 4
+
+    def test_with_fragment_replaces(self):
+        dist = sample_distribution().with_fragment("v2", "R", [7, 8])
+        assert dist.fragment("v2", "R").tolist() == [7, 8]
+        assert sample_distribution().fragment("v2", "R").tolist() == [4]
+
+    def test_describe_mentions_counts(self):
+        assert "|R_v|=3" in sample_distribution().describe()
+
+    def test_repr(self):
+        assert "total=6" in repr(sample_distribution())

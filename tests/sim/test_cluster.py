@@ -1,0 +1,158 @@
+"""Unit tests for the cluster simulator: storage, rounds, routing."""
+
+import numpy as np
+import pytest
+
+from repro.data.distribution import Distribution
+from repro.errors import ProtocolError
+from repro.sim.cluster import Cluster
+from repro.topology.builders import star, two_level
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(two_level([2, 3], leaf_bandwidth=2.0, uplink_bandwidth=1.0))
+
+
+class TestStorage:
+    def test_put_and_local(self, cluster):
+        cluster.put("v1", "R", [1, 2, 3])
+        assert cluster.local("v1", "R").tolist() == [1, 2, 3]
+
+    def test_put_appends(self, cluster):
+        cluster.put("v1", "R", [1])
+        cluster.put("v1", "R", [2])
+        assert cluster.local("v1", "R").tolist() == [1, 2]
+
+    def test_put_on_router_rejected(self, cluster):
+        with pytest.raises(ProtocolError, match="compute"):
+            cluster.put("core", "R", [1])
+
+    def test_take_removes(self, cluster):
+        cluster.put("v1", "R", [1, 2])
+        taken = cluster.take("v1", "R")
+        assert taken.tolist() == [1, 2]
+        assert len(cluster.local("v1", "R")) == 0
+
+    def test_local_size(self, cluster):
+        cluster.put("v1", "R", [1, 2])
+        cluster.put("v1", "S", [3])
+        assert cluster.local_size("v1", "R") == 2
+        assert cluster.local_size("v1") == 3
+
+    def test_tags_at(self, cluster):
+        cluster.put("v2", "X", [1])
+        assert cluster.tags_at("v2") == frozenset({"X"})
+
+    def test_load_distribution(self):
+        tree = star(3)
+        dist = Distribution({"v1": {"R": [1, 2]}, "v2": {"R": [3]}})
+        cluster = Cluster(tree, dist)
+        assert cluster.local("v1", "R").tolist() == [1, 2]
+        assert cluster.local_size("v3") == 0
+
+
+class TestRounds:
+    def test_send_delivers_and_charges_path(self, cluster):
+        cluster.put("v1", "R", [5, 6, 7])
+        with cluster.round() as ctx:
+            ctx.send("v1", "v3", cluster.local("v1", "R"), tag="recv")
+        assert cluster.local("v3", "recv").tolist() == [5, 6, 7]
+        loads = cluster.ledger.round_loads(0)
+        assert loads[("v1", "w1")] == 3
+        assert loads[("w1", "core")] == 3
+        assert loads[("core", "w2")] == 3
+        assert loads[("w2", "v3")] == 3
+
+    def test_round_cost_uses_bottleneck(self, cluster):
+        # leaf links have bandwidth 2, uplinks bandwidth 1.
+        cluster.put("v1", "R", np.arange(4))
+        with cluster.round() as ctx:
+            ctx.send("v1", "v3", np.arange(4), tag="recv")
+        assert cluster.ledger.round_cost(0) == 4.0  # 4 elements / bw 1
+
+    def test_multicast_charges_steiner_edges_once(self, cluster):
+        with cluster.round() as ctx:
+            ctx.multicast("v1", ["v3", "v4", "v5"], np.arange(10), tag="m")
+        loads = cluster.ledger.round_loads(0)
+        assert loads[("w1", "core")] == 10  # shared prefix charged once
+        assert loads[("w2", "v3")] == 10
+        assert loads[("w2", "v4")] == 10
+
+    def test_multicast_delivers_copies(self, cluster):
+        with cluster.round() as ctx:
+            ctx.multicast("v1", ["v3", "v4"], [1, 2], tag="m")
+        assert cluster.local("v3", "m").tolist() == [1, 2]
+        assert cluster.local("v4", "m").tolist() == [1, 2]
+
+    def test_self_send_costs_nothing(self, cluster):
+        with cluster.round() as ctx:
+            ctx.send("v1", "v1", [1, 2, 3], tag="self")
+        assert cluster.ledger.round_cost(0) == 0.0
+        assert cluster.local("v1", "self").tolist() == [1, 2, 3]
+
+    def test_empty_payload_is_free(self, cluster):
+        with cluster.round() as ctx:
+            ctx.send("v1", "v3", [], tag="x")
+        assert cluster.ledger.round_loads(0) == {}
+        assert len(cluster.local("v3", "x")) == 0
+
+    def test_router_destination_rejected(self, cluster):
+        with pytest.raises(ProtocolError, match="router"):
+            with cluster.round() as ctx:
+                ctx.send("v1", "core", [1], tag="x")
+
+    def test_unknown_node_rejected(self, cluster):
+        with pytest.raises(ProtocolError, match="unknown"):
+            with cluster.round() as ctx:
+                ctx.send("v1", "ghost", [1], tag="x")
+
+    def test_empty_destination_set_rejected(self, cluster):
+        with pytest.raises(ProtocolError, match="destination"):
+            with cluster.round() as ctx:
+                ctx.multicast("v1", [], [1], tag="x")
+
+    def test_two_dimensional_payload_rejected(self, cluster):
+        with pytest.raises(ProtocolError, match="one-dimensional"):
+            with cluster.round() as ctx:
+                ctx.send("v1", "v2", [[1, 2]], tag="x")
+
+    def test_nested_rounds_rejected(self, cluster):
+        with pytest.raises(ProtocolError, match="in progress"):
+            with cluster.round():
+                with cluster.round():
+                    pass
+
+    def test_deliveries_wait_for_round_end(self, cluster):
+        with cluster.round() as ctx:
+            ctx.send("v1", "v2", [1], tag="late")
+            assert len(cluster.local("v2", "late")) == 0
+        assert cluster.local("v2", "late").tolist() == [1]
+
+    def test_failed_round_not_accounted(self, cluster):
+        with pytest.raises(RuntimeError):
+            with cluster.round() as ctx:
+                ctx.send("v1", "v2", [1], tag="x")
+                raise RuntimeError("protocol bug")
+        assert cluster.ledger.num_rounds == 0
+        assert len(cluster.local("v2", "x")) == 0
+
+    def test_scatter_convenience(self, cluster):
+        with cluster.round() as ctx:
+            ctx.scatter("v1", [("v2", [1]), ("v3", [2, 3])], tag="s")
+        assert cluster.local("v2", "s").tolist() == [1]
+        assert cluster.local("v3", "s").tolist() == [2, 3]
+
+    def test_received_elements_excludes_self(self, cluster):
+        with cluster.round() as ctx:
+            ctx.send("v1", "v1", [1, 2], tag="a")
+            ctx.send("v1", "v2", [3], tag="a")
+        assert cluster.received_elements("v1") == 0
+        assert cluster.received_elements("v2") == 1
+
+    def test_rounds_executed(self, cluster):
+        with cluster.round():
+            pass
+        with cluster.round():
+            pass
+        assert cluster.rounds_executed == 2

@@ -1,0 +1,136 @@
+"""Unit tests for the cost ledger (the Section 2 cost model)."""
+
+import math
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.sim.ledger import CostLedger
+from repro.topology.builders import mpc_star, star
+
+
+@pytest.fixture
+def ledger(simple_star):
+    return CostLedger(simple_star)
+
+
+class TestRoundLifecycle:
+    def test_cannot_add_outside_round(self, ledger):
+        with pytest.raises(ProtocolError, match="no round"):
+            ledger.add_load(("v1", "w"), 5)
+
+    def test_cannot_open_twice(self, ledger):
+        ledger.open_round()
+        with pytest.raises(ProtocolError, match="still open"):
+            ledger.open_round()
+
+    def test_cannot_close_unopened(self, ledger):
+        with pytest.raises(ProtocolError, match="no round"):
+            ledger.close_round()
+
+    def test_round_count(self, ledger):
+        for _ in range(3):
+            ledger.open_round()
+            ledger.close_round()
+        assert ledger.num_rounds == 3
+
+
+class TestAccounting:
+    def test_loads_accumulate_per_edge(self, ledger):
+        ledger.open_round()
+        ledger.add_load(("v1", "w"), 5)
+        ledger.add_load(("v1", "w"), 3)
+        ledger.close_round()
+        assert ledger.round_loads(0) == {("v1", "w"): 8}
+
+    def test_rejects_unknown_edge(self, ledger):
+        ledger.open_round()
+        with pytest.raises(Exception):
+            ledger.add_load(("v1", "v2"), 1)
+
+    def test_rejects_negative_load(self, ledger):
+        ledger.open_round()
+        with pytest.raises(ProtocolError, match="negative"):
+            ledger.add_load(("v1", "w"), -1)
+
+    def test_round_cost_divides_by_bandwidth(self, simple_star):
+        # simple_star bandwidths: v1=1, v2=2, v3=4, v4=8
+        ledger = CostLedger(simple_star)
+        ledger.open_round()
+        ledger.add_load(("v2", "w"), 10)  # 10 / 2 = 5
+        ledger.add_load(("w", "v4"), 16)  # 16 / 8 = 2
+        ledger.close_round()
+        assert ledger.round_cost(0) == 5.0
+
+    def test_total_cost_sums_rounds(self, simple_star):
+        ledger = CostLedger(simple_star)
+        ledger.open_round()
+        ledger.add_load(("v1", "w"), 3)
+        ledger.close_round()
+        ledger.open_round()
+        ledger.add_load(("v1", "w"), 4)
+        ledger.close_round()
+        assert ledger.total_cost() == 7.0
+
+    def test_empty_round_costs_zero(self, ledger):
+        ledger.open_round()
+        ledger.close_round()
+        assert ledger.round_cost(0) == 0.0
+
+    def test_infinite_bandwidth_costs_nothing(self):
+        tree = mpc_star(3)
+        ledger = CostLedger(tree)
+        ledger.open_round()
+        ledger.add_load(("v1", "o"), 1000)  # uplink: infinite bandwidth
+        ledger.close_round()
+        assert ledger.round_cost(0) == 0.0
+
+    def test_bits_conversion(self, simple_star):
+        ledger = CostLedger(simple_star, bits_per_element=32)
+        ledger.open_round()
+        ledger.add_load(("v1", "w"), 10)
+        ledger.close_round()
+        assert ledger.total_cost_bits() == 320.0
+
+    def test_rejects_nonpositive_bits(self, simple_star):
+        with pytest.raises(ProtocolError):
+            CostLedger(simple_star, bits_per_element=0)
+
+
+class TestQueries:
+    def test_edge_total_across_rounds(self, ledger):
+        for amount in (2, 5):
+            ledger.open_round()
+            ledger.add_load(("v1", "w"), amount)
+            ledger.close_round()
+        assert ledger.edge_total(("v1", "w")) == 7
+        assert ledger.edge_total(("w", "v1")) == 0
+
+    def test_total_elements(self, ledger):
+        ledger.open_round()
+        ledger.add_load(("v1", "w"), 2)
+        ledger.add_load(("w", "v2"), 3)
+        ledger.close_round()
+        assert ledger.total_elements() == 5
+
+    def test_bottleneck(self, simple_star):
+        ledger = CostLedger(simple_star)
+        ledger.open_round()
+        ledger.add_load(("v1", "w"), 10)  # 10/1
+        ledger.add_load(("v4", "w"), 40)  # 40/8
+        ledger.close_round()
+        edge, cost = ledger.bottleneck()
+        assert edge == ("v1", "w")
+        assert cost == 10.0
+
+    def test_bottleneck_empty(self, ledger):
+        assert ledger.bottleneck() is None
+
+    def test_summary_fields(self, ledger):
+        ledger.open_round()
+        ledger.add_load(("v1", "w"), 4)
+        ledger.close_round()
+        summary = ledger.summary()
+        assert summary["rounds"] == 1
+        assert summary["cost_elements"] == 4.0
+        assert summary["per_round_cost"] == [4.0]

@@ -1,0 +1,39 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_table1(self, capsys):
+        assert main(["--r-size", "200", "--s-size", "200", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1 reproduction" in out
+        assert "set-intersection" in out
+
+    def test_table1_verbose(self, capsys):
+        assert (
+            main(
+                ["--r-size", "200", "--s-size", "200", "--verbose", "table1"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "All runs" in out
+
+    def test_compare(self, capsys):
+        assert main(["--r-size", "400", "--s-size", "400", "compare"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "intersection" in out
+
+    def test_topology(self, capsys):
+        assert main(["topology"]) == 0
+        out = capsys.readouterr().out
+        assert "star-uniform(8)" in out
+        assert "[v1]" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["bogus"])

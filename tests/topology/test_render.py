@@ -1,0 +1,41 @@
+"""Unit tests for ASCII topology rendering."""
+
+import pytest
+
+from repro.topology.builders import mpc_star, star, two_level
+from repro.topology.render import ascii_tree
+
+
+class TestAsciiTree:
+    def test_mentions_every_node(self):
+        tree = two_level([2, 2])
+        art = ascii_tree(tree)
+        for node in tree.nodes:
+            assert str(node) in art
+
+    def test_compute_nodes_bracketed(self):
+        art = ascii_tree(star(2))
+        assert "[v1]" in art
+        assert "(w)" in art
+
+    def test_bandwidth_annotations(self):
+        art = ascii_tree(star(2, bandwidth=[1.5, 3.0]))
+        assert "w=1.5" in art
+        assert "w=3" in art
+
+    def test_asymmetric_links_show_both_directions(self):
+        art = ascii_tree(mpc_star(2))
+        assert "inf" in art
+        assert "/" in art
+
+    def test_node_weights_annotation(self):
+        art = ascii_tree(star(2), node_weights={"v1": 10})
+        assert "N=10" in art
+
+    def test_explicit_root(self):
+        art = ascii_tree(two_level([1, 1]), root="w1")
+        assert art.splitlines()[0].startswith("(w1)")
+
+    def test_unknown_root_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_tree(star(2), root="ghost")

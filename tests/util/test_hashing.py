@@ -1,0 +1,101 @@
+"""Unit tests for the deterministic weighted hashing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.util.hashing import (
+    WeightedNodeHasher,
+    hash_to_unit,
+    splitmix64,
+)
+
+
+class TestSplitmix64:
+    def test_deterministic(self):
+        values = np.arange(100)
+        assert np.array_equal(splitmix64(values, 7), splitmix64(values, 7))
+
+    def test_seed_changes_output(self):
+        values = np.arange(100)
+        assert not np.array_equal(splitmix64(values, 1), splitmix64(values, 2))
+
+    def test_output_dtype(self):
+        assert splitmix64(np.arange(4), 0).dtype == np.uint64
+
+    def test_does_not_mutate_input(self):
+        values = np.arange(10)
+        splitmix64(values, 3)
+        assert np.array_equal(values, np.arange(10))
+
+    def test_handles_negative_ints(self):
+        values = np.array([-5, -1, 0, 1], dtype=np.int64)
+        result = splitmix64(values, 0)
+        assert len(np.unique(result)) == 4
+
+    def test_unit_interval_range(self):
+        points = hash_to_unit(np.arange(10_000), 11)
+        assert points.min() >= 0.0
+        assert points.max() < 1.0
+
+    def test_unit_interval_roughly_uniform(self):
+        points = hash_to_unit(np.arange(100_000), 13)
+        histogram, _ = np.histogram(points, bins=10, range=(0, 1))
+        assert histogram.min() > 8_000  # each decile within 20% of 10k
+
+
+class TestWeightedNodeHasher:
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            WeightedNodeHasher(["a"], [1.0, 2.0], 0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            WeightedNodeHasher([], [], 0)
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(ValueError):
+            WeightedNodeHasher(["a", "b"], [1.0, -1.0], 0)
+
+    def test_rejects_all_zero_weights(self):
+        with pytest.raises(ValueError):
+            WeightedNodeHasher(["a", "b"], [0.0, 0.0], 0)
+
+    def test_consistent_across_instances(self):
+        values = np.arange(1000)
+        first = WeightedNodeHasher(["a", "b", "c"], [1, 2, 3], 42)
+        second = WeightedNodeHasher(["a", "b", "c"], [1, 2, 3], 42)
+        assert first.assign(values) == second.assign(values)
+
+    def test_zero_weight_node_gets_nothing(self):
+        hasher = WeightedNodeHasher(["a", "b", "c"], [1.0, 0.0, 1.0], 5)
+        assigned = hasher.assign(np.arange(5000))
+        assert "b" not in assigned
+
+    def test_probability_sums_to_one(self):
+        hasher = WeightedNodeHasher(["a", "b", "c"], [3, 1, 4], 0)
+        total = sum(hasher.probability(n) for n in ["a", "b", "c"])
+        assert total == pytest.approx(1.0)
+
+    def test_weights_respected_statistically(self):
+        hasher = WeightedNodeHasher(["a", "b"], [1.0, 3.0], 17)
+        assigned = hasher.assign_indices(np.arange(40_000))
+        fraction_b = float(np.mean(assigned == 1))
+        assert 0.72 <= fraction_b <= 0.78  # expect 0.75
+
+    @given(
+        weights=st.lists(st.integers(0, 50), min_size=1, max_size=8).filter(
+            lambda w: sum(w) > 0
+        ),
+        seed=st.integers(0, 2**32),
+    )
+    @settings(max_examples=50)
+    def test_assignment_always_in_range(self, weights, seed):
+        nodes = [f"n{i}" for i in range(len(weights))]
+        hasher = WeightedNodeHasher(nodes, weights, seed)
+        indices = hasher.assign_indices(np.arange(200))
+        assert indices.min() >= 0
+        assert indices.max() < len(nodes)
+        # zero-weight nodes never selected
+        for index in np.unique(indices):
+            assert weights[index] > 0

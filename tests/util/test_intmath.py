@@ -1,0 +1,102 @@
+"""Unit tests for the integer helpers behind the packing machinery."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.intmath import (
+    ceil_div,
+    ilog2,
+    is_power_of_two,
+    next_power_of_two,
+    next_power_of_two_at_least,
+)
+
+
+class TestCeilDiv:
+    def test_exact_division(self):
+        assert ceil_div(12, 4) == 3
+
+    def test_rounds_up(self):
+        assert ceil_div(13, 4) == 4
+
+    def test_zero_numerator(self):
+        assert ceil_div(0, 5) == 0
+
+    def test_rejects_zero_denominator(self):
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)
+
+    def test_rejects_negative_numerator(self):
+        with pytest.raises(ValueError):
+            ceil_div(-1, 2)
+
+    @given(st.integers(0, 10**9), st.integers(1, 10**6))
+    def test_matches_math_ceil(self, a, b):
+        assert ceil_div(a, b) == math.ceil(a / b) or ceil_div(a, b) == -(-a // b)
+
+
+class TestPowerOfTwo:
+    def test_detects_powers(self):
+        for k in range(20):
+            assert is_power_of_two(1 << k)
+
+    def test_rejects_non_powers(self):
+        for value in (0, -1, 3, 5, 6, 7, 9, 100):
+            assert not is_power_of_two(value)
+
+    def test_ilog2_roundtrip(self):
+        for k in range(30):
+            assert ilog2(1 << k) == k
+
+    def test_ilog2_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            ilog2(6)
+
+    def test_next_power_of_two_exact(self):
+        assert next_power_of_two(8) == 8
+
+    def test_next_power_of_two_rounds_up(self):
+        assert next_power_of_two(9) == 16
+
+    def test_next_power_of_two_one(self):
+        assert next_power_of_two(1) == 1
+
+    def test_next_power_of_two_rejects_zero(self):
+        with pytest.raises(ValueError):
+            next_power_of_two(0)
+
+    @given(st.integers(1, 2**40))
+    def test_next_power_of_two_minimal(self, value):
+        result = next_power_of_two(value)
+        assert is_power_of_two(result)
+        assert result >= value
+        assert result // 2 < value
+
+
+class TestNextPowerOfTwoAtLeast:
+    def test_small_values_map_to_one(self):
+        assert next_power_of_two_at_least(0.0) == 1
+        assert next_power_of_two_at_least(0.3) == 1
+        assert next_power_of_two_at_least(1.0) == 1
+
+    def test_just_above_one(self):
+        assert next_power_of_two_at_least(1.0001) == 2
+
+    def test_exact_power(self):
+        assert next_power_of_two_at_least(64.0) == 64
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(ValueError):
+            next_power_of_two_at_least(float("nan"))
+        with pytest.raises(ValueError):
+            next_power_of_two_at_least(float("inf"))
+
+    @given(st.floats(0.0, 2**40, allow_nan=False))
+    def test_minimal_covering_power(self, value):
+        result = next_power_of_two_at_least(value)
+        assert is_power_of_two(result)
+        assert result >= value
+        if value > 1.0:
+            assert result / 2 < value

@@ -1,0 +1,42 @@
+"""Unit tests for text-table rendering."""
+
+from repro.util.text import format_value, render_table
+
+
+class TestFormatValue:
+    def test_none_is_blank(self):
+        assert format_value(None) == ""
+
+    def test_bool(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_large_float_grouped(self):
+        assert format_value(1234567.0) == "1,234,567"
+
+    def test_small_float_trimmed(self):
+        assert format_value(0.123456) == "0.123"
+
+    def test_nan_and_inf(self):
+        assert format_value(float("nan")) == "nan"
+        assert format_value(float("inf")) == "inf"
+
+    def test_string_passthrough(self):
+        assert format_value("abc") == "abc"
+
+
+class TestRenderTable:
+    def test_includes_all_cells(self):
+        table = render_table(["a", "b"], [[1, 2], [3, 4]])
+        for cell in ("a", "b", "1", "2", "3", "4"):
+            assert cell in table
+
+    def test_title_on_first_line(self):
+        table = render_table(["x"], [[1]], title="My Table")
+        assert table.splitlines()[0] == "My Table"
+
+    def test_column_widths_align(self):
+        table = render_table(["col"], [["short"], ["a-much-longer-cell"]])
+        lines = table.splitlines()
+        rule = lines[1]
+        assert len(rule) == len("a-much-longer-cell")
