@@ -14,8 +14,8 @@ from __future__ import annotations
 import pytest
 
 from benchmarks.conftest import record_table
-from repro.analysis.runner import run_cartesian, run_intersection, run_sorting
 from repro.data.generators import random_distribution
+from repro.engine import run
 from repro.topology.builders import star, two_level
 
 SIZES = (2_000, 8_000, 32_000)
@@ -30,9 +30,9 @@ def _sweep(tree):
         rows.append(
             {
                 "n": 2 * size,
-                "intersection": run_intersection(tree, dist, seed=2),
-                "cartesian": run_cartesian(tree, dist),
-                "sorting": run_sorting(tree, dist, seed=2),
+                "intersection": run("set-intersection", tree, dist, seed=2),
+                "cartesian": run("cartesian-product", tree, dist),
+                "sorting": run("sorting", tree, dist, seed=2),
             }
         )
     return rows

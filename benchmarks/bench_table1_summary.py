@@ -24,24 +24,19 @@ import math
 import pytest
 
 from benchmarks.conftest import record_table
-from repro.analysis.report import aggregate
-from repro.analysis.runner import run_cartesian, run_intersection, run_sorting
-from repro.analysis.suites import instance_grid
+from repro.analysis.suites import standard_plans
 from repro.data.generators import random_distribution
+from repro.engine import run, run_many
+from repro.report import aggregate
 from repro.topology.builders import two_level
 
 R_SIZE = S_SIZE = 4_000
 
 
 def _run_suite() -> list:
-    reports = []
-    for tree, policy, dist in instance_grid(
-        r_size=R_SIZE, s_size=S_SIZE, seed=42
-    ):
-        reports.append(run_intersection(tree, dist, placement=policy, seed=1))
-        reports.append(run_cartesian(tree, dist, placement=policy))
-        reports.append(run_sorting(tree, dist, placement=policy, seed=1))
-    return reports
+    return run_many(
+        standard_plans(r_size=R_SIZE, s_size=S_SIZE, seed=42, run_seed=1)
+    )
 
 
 @pytest.mark.benchmark(group="table1-suite")
@@ -113,7 +108,9 @@ def representative_instance():
 def test_intersection_single(benchmark, representative_instance):
     tree, dist = representative_instance
     report = benchmark.pedantic(
-        lambda: run_intersection(tree, dist, seed=1), rounds=3, iterations=1
+        lambda: run("set-intersection", tree, dist, seed=1),
+        rounds=3,
+        iterations=1,
     )
     assert report.rounds == 1
     benchmark.extra_info["model_cost"] = report.cost
@@ -124,7 +121,9 @@ def test_intersection_single(benchmark, representative_instance):
 def test_cartesian_single(benchmark, representative_instance):
     tree, dist = representative_instance
     report = benchmark.pedantic(
-        lambda: run_cartesian(tree, dist), rounds=3, iterations=1
+        lambda: run("cartesian-product", tree, dist),
+        rounds=3,
+        iterations=1,
     )
     assert report.rounds == 1
     benchmark.extra_info["model_cost"] = report.cost
@@ -135,7 +134,9 @@ def test_cartesian_single(benchmark, representative_instance):
 def test_sorting_single(benchmark, representative_instance):
     tree, dist = representative_instance
     report = benchmark.pedantic(
-        lambda: run_sorting(tree, dist, seed=1), rounds=3, iterations=1
+        lambda: run("sorting", tree, dist, seed=1),
+        rounds=3,
+        iterations=1,
     )
     assert report.rounds <= 4
     benchmark.extra_info["model_cost"] = report.cost

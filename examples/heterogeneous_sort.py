@@ -50,10 +50,10 @@ def main() -> None:
     rows = []
     for name, dist in scenarios.items():
         bound = repro.sorting_lower_bound(tree, dist)
-        wts = repro.run_sorting(tree, dist, protocol="wts", seed=2,
-                                placement=name)
-        classic = repro.run_sorting(tree, dist, protocol="terasort", seed=2,
-                                    placement=name)
+        wts = repro.run("sorting", tree, dist, protocol="wts", seed=2,
+                        placement=name)
+        classic = repro.run("sorting", tree, dist, protocol="terasort",
+                            seed=2, placement=name)
         rows.append(
             [
                 name,

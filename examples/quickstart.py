@@ -33,11 +33,16 @@ def main() -> None:
     print(dist.describe())
     print()
 
-    reports = [
-        repro.run_intersection(tree, dist, placement="zipf", seed=1),
-        repro.run_cartesian(tree, dist, placement="zipf"),
-        repro.run_sorting(tree, dist, placement="zipf", seed=1),
-    ]
+    # One engine call per task: repro.run dispatches through the protocol
+    # registry, so the same entry point covers every task and protocol
+    # (run ``python -m repro protocols`` for the catalog).  run_many
+    # evaluates the batch concurrently and preserves order.
+    reports = repro.run_many(
+        [
+            repro.RunPlan(task, tree, dist, seed=1, placement="zipf")
+            for task in ("set-intersection", "cartesian-product", "sorting")
+        ]
+    )
     print(
         repro.summarize_reports(
             reports, title="Topology-aware algorithms vs their lower bounds"

@@ -23,34 +23,31 @@ def main() -> None:
     print(f"Topology: {tree.name} with {tree.num_compute_nodes} compute nodes")
     print()
 
-    def make_instance(size: int):
-        return repro.random_distribution(
+    def make_instance(n_total: int):
+        size = n_total // 2
+        return tree, repro.random_distribution(
             tree, r_size=size, s_size=size, policy="zipf", seed=29
         )
 
+    # Each task's topology-aware default, swept through the engine; the
+    # registry knows which protocols take a seed, so one call covers all.
     studies = {
-        "set intersection": (
-            lambda d: repro.tree_intersect(tree, d, seed=1).cost,
-            lambda d: repro.intersection_lower_bound(tree, d).value,
-        ),
-        "cartesian product": (
-            lambda d: repro.tree_cartesian_product(tree, d).cost,
-            lambda d: repro.cartesian_lower_bound(tree, d).value,
-        ),
-        "sorting": (
-            lambda d: repro.weighted_terasort(tree, d, seed=1).cost,
-            lambda d: repro.sorting_lower_bound(tree, d).value,
-        ),
+        "set-intersection": "tree",
+        "cartesian-product": "tree",
+        "sorting": "wts",
     }
 
-    for task, (cost_of, bound_of) in studies.items():
+    for task, protocol in studies.items():
         sweep = Sweep(f"{task}: cost vs N (log-log)")
-        for size in SIZES:
-            dist = make_instance(size)
-            sweep.add("measured cost", 2 * size, cost_of(dist))
-            sweep.add("lower bound", 2 * size, bound_of(dist))
+        sweep.run_protocols(
+            [2 * size for size in SIZES],
+            make_instance,
+            task=task,
+            protocols=[protocol],
+            seed=1,
+        )
         print(sweep.chart(log_x=True, log_y=True, width=56, height=12))
-        ratios = sweep.ratios("measured cost", "lower bound")
+        ratios = sweep.ratios(protocol, "lower-bound")
         print(
             f"ratio across the sweep: "
             f"{min(ratios):.2f} .. {max(ratios):.2f}"

@@ -14,8 +14,13 @@ Quick start::
     tree = repro.two_level([4, 4], uplink_bandwidth=2.0)
     dist = repro.random_distribution(tree, r_size=1_000, s_size=5_000,
                                      policy="zipf", seed=0)
-    report = repro.run_intersection(tree, dist)
+    report = repro.run("set-intersection", tree, dist)
     print(report.cost, report.lower_bound, report.ratio)
+
+Every protocol lives in a central catalog (``repro.list_protocols()``,
+``python -m repro protocols``); ``repro.run(task, ...)`` dispatches
+through it and ``repro.run_many(plans)`` evaluates whole grids
+concurrently.
 
 See ``examples/`` for complete scenarios and DESIGN.md for the module map.
 """
@@ -92,6 +97,18 @@ from repro.queries import (
     tree_equijoin,
     tree_groupby_aggregate,
 )
+from repro.registry import (
+    ProtocolSpec,
+    TaskSpec,
+    get_protocol,
+    get_task,
+    list_protocols,
+    protocols_for,
+    register_protocol,
+    register_task,
+    tasks,
+)
+from repro.engine import RunPlan, run, run_many
 from repro.analysis import (
     RunReport,
     run_cartesian,
@@ -169,6 +186,19 @@ __all__ = [
     "tree_equijoin",
     "equijoin_lower_bound",
     "tree_groupby_aggregate",
+    # registry + engine
+    "ProtocolSpec",
+    "TaskSpec",
+    "register_protocol",
+    "register_task",
+    "get_protocol",
+    "get_task",
+    "protocols_for",
+    "list_protocols",
+    "tasks",
+    "run",
+    "run_many",
+    "RunPlan",
     # analysis
     "RunReport",
     "run_intersection",

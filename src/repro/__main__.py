@@ -5,6 +5,7 @@ Usage::
     python -m repro table1              # the Table 1 suite
     python -m repro compare             # topology-aware vs baselines
     python -m repro topology            # draw the builder topologies
+    python -m repro protocols           # the registered protocol catalog
     python -m repro table1 --r-size 2000 --s-size 2000 --seed 7
 
 Each command prints the same plain-text tables the benchmark harness
@@ -16,27 +17,24 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.analysis.report import aggregate, summarize_reports
-from repro.analysis.runner import run_cartesian, run_intersection, run_sorting
-from repro.analysis.suites import instance_grid, standard_topologies
+from repro.report import aggregate, summarize_reports
+from repro.analysis.suites import standard_plans, standard_topologies
 from repro.data.generators import random_distribution
-from repro.topology.builders import star, two_level
+from repro.engine import run, run_many
+from repro.errors import ReproError
+from repro.registry import list_protocols, tasks
+from repro.topology.builders import two_level
 from repro.topology.render import ascii_tree
 from repro.util.text import render_table
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
-    reports = []
-    for tree, policy, dist in instance_grid(
-        r_size=args.r_size, s_size=args.s_size, seed=args.seed
-    ):
-        reports.append(
-            run_intersection(tree, dist, placement=policy, seed=args.seed)
-        )
-        reports.append(run_cartesian(tree, dist, placement=policy))
-        reports.append(
-            run_sorting(tree, dist, placement=policy, seed=args.seed)
-        )
+    reports = run_many(
+        standard_plans(
+            r_size=args.r_size, s_size=args.s_size, seed=args.seed
+        ),
+        workers=args.workers,
+    )
     if args.verbose:
         print(summarize_reports(reports, title="All runs"))
         print()
@@ -79,14 +77,15 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     rows = []
-    for task, aware_protocol, base_protocol, runner in (
-        ("intersection", "tree", "uniform-hash", run_intersection),
-        ("cartesian", "tree", "classic-hypercube", run_cartesian),
-        ("sorting", "wts", "terasort", run_sorting),
+    for task, aware_protocol, base_protocol in (
+        ("set-intersection", "tree", "uniform-hash"),
+        ("cartesian-product", "tree", "classic-hypercube"),
+        ("sorting", "wts", "terasort"),
     ):
-        kwargs = {"seed": args.seed} if task != "cartesian" else {}
-        aware = runner(tree, dist, protocol=aware_protocol, **kwargs)
-        base = runner(tree, dist, protocol=base_protocol, **kwargs)
+        aware = run(
+            task, tree, dist, protocol=aware_protocol, seed=args.seed
+        )
+        base = run(task, tree, dist, protocol=base_protocol, seed=args.seed)
         rows.append(
             [
                 task,
@@ -114,6 +113,29 @@ def _cmd_topology(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_protocols(args: argparse.Namespace) -> int:
+    rows = [
+        [
+            spec.task,
+            spec.name,
+            spec.kind,
+            "yes" if spec.accepts_seed else "no",
+            spec.topology or "any",
+            spec.description,
+        ]
+        for spec in list_protocols()
+    ]
+    print(
+        render_table(
+            ["task", "protocol", "kind", "seeded", "topology", "description"],
+            rows,
+            title=f"Protocol catalog ({len(rows)} protocols, "
+            f"{len(tasks())} tasks)",
+        )
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -123,11 +145,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--r-size", type=int, default=2_000)
     parser.add_argument("--s-size", type=int, default=2_000)
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="thread-pool size for batch runs (default: executor's choice)",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="print per-instance rows"
     )
     parser.add_argument(
         "command",
-        choices=["table1", "compare", "topology"],
+        choices=["table1", "compare", "topology", "protocols"],
         help="which reproduction to run",
     )
     args = parser.parse_args(argv)
@@ -135,8 +163,13 @@ def main(argv: list[str] | None = None) -> int:
         "table1": _cmd_table1,
         "compare": _cmd_compare,
         "topology": _cmd_topology,
+        "protocols": _cmd_protocols,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -1,85 +1,16 @@
-"""Run reports: one row per (task, protocol, topology, placement) cell."""
+"""Compatibility shim: the report types moved to :mod:`repro.report`.
 
-from __future__ import annotations
+The engine (:mod:`repro.engine`) returns :class:`repro.report.RunReport`
+and cannot depend on the analysis package (which depends on the engine),
+so the report module now lives at the package top level.  Importing from
+``repro.analysis.report`` keeps working.
+"""
 
-from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from repro.report import (
+    REPORT_HEADERS,
+    RunReport,
+    aggregate,
+    summarize_reports,
+)
 
-from repro.errors import AnalysisError
-from repro.util.text import render_table
-
-
-@dataclass(frozen=True)
-class RunReport:
-    """Outcome of one protocol execution compared against its lower bound."""
-
-    task: str
-    protocol: str
-    topology: str
-    placement: str
-    input_size: int
-    rounds: int
-    cost: float
-    lower_bound: float
-    meta: dict = field(default_factory=dict)
-
-    @property
-    def ratio(self) -> float:
-        """``cost / lower_bound`` (the optimality ratio of Table 1)."""
-        if self.lower_bound > 0:
-            return self.cost / self.lower_bound
-        return 0.0 if self.cost == 0 else float("inf")
-
-    def as_row(self) -> list:
-        return [
-            self.task,
-            self.protocol,
-            self.topology,
-            self.placement,
-            self.input_size,
-            self.rounds,
-            self.cost,
-            self.lower_bound,
-            self.ratio,
-        ]
-
-
-REPORT_HEADERS = [
-    "task",
-    "protocol",
-    "topology",
-    "placement",
-    "N",
-    "rounds",
-    "cost",
-    "lower bound",
-    "ratio",
-]
-
-
-def summarize_reports(
-    reports: Sequence[RunReport], *, title: str | None = None
-) -> str:
-    """Render reports as a text table, one row per run."""
-    if not reports:
-        raise AnalysisError("no reports to summarize")
-    return render_table(
-        REPORT_HEADERS, [r.as_row() for r in reports], title=title
-    )
-
-
-def aggregate(reports: Iterable[RunReport]) -> dict:
-    """Max rounds and max/mean ratio per task — the Table 1 claims."""
-    by_task: dict[str, list[RunReport]] = {}
-    for report in reports:
-        by_task.setdefault(report.task, []).append(report)
-    summary: dict = {}
-    for task, rows in sorted(by_task.items()):
-        finite = [r.ratio for r in rows if r.ratio != float("inf")]
-        summary[task] = {
-            "runs": len(rows),
-            "max_rounds": max(r.rounds for r in rows),
-            "max_ratio": max(finite) if finite else float("inf"),
-            "mean_ratio": sum(finite) / len(finite) if finite else float("inf"),
-        }
-    return summary
+__all__ = ["RunReport", "REPORT_HEADERS", "summarize_reports", "aggregate"]

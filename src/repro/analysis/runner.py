@@ -1,73 +1,29 @@
-"""One-call experiment runners for the three tasks.
+"""Legacy per-task runners, kept as thin wrappers over the engine.
 
-Each runner executes a named protocol on a (topology, distribution)
-instance, computes the matching lower bound, verifies task correctness
-(the reproduction never reports cost for a wrong answer), and returns a
-:class:`~repro.analysis.report.RunReport`.
+The original API exposed one ``run_*`` function per task, each with its
+own hard-coded dispatch table.  Dispatch now lives in
+:mod:`repro.registry` and execution in :mod:`repro.engine`; these
+wrappers survive so existing callers (tests, benchmarks, examples,
+downstream notebooks) keep working unchanged.  New code should call
+:func:`repro.engine.run` directly.
+
+The ``*_PROTOCOLS`` mappings are snapshots of the registry taken at
+import time — views for the old ``sorted(INTERSECTION_PROTOCOLS)``
+idiom, not dispatch tables.  Query :func:`repro.registry.protocols_for`
+for live metadata.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Hashable
-
-import numpy as np
-
-from repro.analysis.report import RunReport
-from repro.baselines.gather import (
-    gather_cartesian_product,
-    gather_intersect,
-    gather_sort,
-)
-from repro.baselines.hypercube import classic_hypercube_cartesian_product
-from repro.baselines.uniform_hash import uniform_hash_intersect
-from repro.core.cartesian import (
-    cartesian_lower_bound,
-    star_cartesian_product,
-    tree_cartesian_product,
-)
-from repro.core.intersection import (
-    intersection_lower_bound,
-    star_intersect,
-    tree_intersect,
-)
-from repro.core.sorting import (
-    sorting_lower_bound,
-    terasort,
-    verify_sorted_output,
-    weighted_terasort,
-)
+from repro.report import RunReport
 from repro.data.distribution import Distribution
-from repro.errors import AnalysisError, ProtocolError
+from repro.engine import run
+from repro.registry import protocol_table
 from repro.topology.tree import TreeTopology
 
-INTERSECTION_PROTOCOLS: dict[str, Callable] = {
-    "tree": tree_intersect,
-    "star": star_intersect,
-    "uniform-hash": uniform_hash_intersect,
-    "gather": gather_intersect,
-}
-
-CARTESIAN_PROTOCOLS: dict[str, Callable] = {
-    "tree": tree_cartesian_product,
-    "star": star_cartesian_product,
-    "classic-hypercube": classic_hypercube_cartesian_product,
-    "gather": gather_cartesian_product,
-}
-
-SORTING_PROTOCOLS: dict[str, Callable] = {
-    "wts": weighted_terasort,
-    "terasort": terasort,
-    "gather": gather_sort,
-}
-
-
-def _resolve(registry: dict[str, Callable], protocol: str) -> Callable:
-    try:
-        return registry[protocol]
-    except KeyError:
-        raise AnalysisError(
-            f"unknown protocol {protocol!r}; choose from {sorted(registry)}"
-        ) from None
+INTERSECTION_PROTOCOLS = protocol_table("set-intersection")
+CARTESIAN_PROTOCOLS = protocol_table("cartesian-product")
+SORTING_PROTOCOLS = protocol_table("sorting")
 
 
 def run_intersection(
@@ -80,34 +36,14 @@ def run_intersection(
     verify: bool = True,
 ) -> RunReport:
     """Run a set-intersection protocol; verify the output equals ``R ∩ S``."""
-    runner = _resolve(INTERSECTION_PROTOCOLS, protocol)
-    kwargs = {"seed": seed} if protocol in ("tree", "star", "uniform-hash") else {}
-    result = runner(tree, distribution, **kwargs)
-    if verify:
-        expected = np.intersect1d(
-            distribution.relation("R"), distribution.relation("S")
-        )
-        found = (
-            np.unique(np.concatenate(list(result.outputs.values())))
-            if result.outputs
-            else np.empty(0, np.int64)
-        )
-        if len(found) != len(expected) or np.any(found != expected):
-            raise ProtocolError(
-                f"{result.protocol} produced a wrong intersection "
-                f"({len(found)} vs {len(expected)} elements)"
-            )
-    bound = intersection_lower_bound(tree, distribution)
-    return RunReport(
-        task="set-intersection",
-        protocol=result.protocol,
-        topology=tree.name,
+    return run(
+        "set-intersection",
+        tree,
+        distribution,
+        protocol=protocol,
+        seed=seed,
         placement=placement,
-        input_size=distribution.total(),
-        rounds=result.rounds,
-        cost=result.cost,
-        lower_bound=bound.value,
-        meta={"result": result.meta, "bound": bound.description},
+        verify=verify,
     )
 
 
@@ -120,26 +56,13 @@ def run_cartesian(
     verify: bool = True,
 ) -> RunReport:
     """Run a cartesian-product protocol; verify all pairs are enumerated."""
-    runner = _resolve(CARTESIAN_PROTOCOLS, protocol)
-    result = runner(tree, distribution)
-    if verify:
-        expected = distribution.total("R") * distribution.total("S")
-        produced = sum(o["num_pairs"] for o in result.outputs.values())
-        if produced != expected:
-            raise ProtocolError(
-                f"{result.protocol} enumerated {produced} of {expected} pairs"
-            )
-    bound = cartesian_lower_bound(tree, distribution)
-    return RunReport(
-        task="cartesian-product",
-        protocol=result.protocol,
-        topology=tree.name,
+    return run(
+        "cartesian-product",
+        tree,
+        distribution,
+        protocol=protocol,
         placement=placement,
-        input_size=distribution.total(),
-        rounds=result.rounds,
-        cost=result.cost,
-        lower_bound=bound.value,
-        meta={"result": result.meta, "bound": bound.description},
+        verify=verify,
     )
 
 
@@ -153,25 +76,12 @@ def run_sorting(
     verify: bool = True,
 ) -> RunReport:
     """Run a sorting protocol; verify the output is a valid sorted layout."""
-    runner = _resolve(SORTING_PROTOCOLS, protocol)
-    kwargs = {"seed": seed} if protocol in ("wts", "terasort") else {}
-    result = runner(tree, distribution, **kwargs)
-    if verify:
-        verify_sorted_output(
-            tree,
-            result.outputs,
-            result.meta["order"],
-            distribution.relation("R"),
-        )
-    bound = sorting_lower_bound(tree, distribution)
-    return RunReport(
-        task="sorting",
-        protocol=result.protocol,
-        topology=tree.name,
+    return run(
+        "sorting",
+        tree,
+        distribution,
+        protocol=protocol,
+        seed=seed,
         placement=placement,
-        input_size=distribution.total(),
-        rounds=result.rounds,
-        cost=result.cost,
-        lower_bound=bound.value,
-        meta={"result": result.meta, "bound": bound.description},
+        verify=verify,
     )

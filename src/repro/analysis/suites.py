@@ -14,6 +14,7 @@ from typing import Callable, Iterable
 
 from repro.data.distribution import Distribution
 from repro.data.generators import random_distribution
+from repro.engine import RunPlan
 from repro.topology.builders import (
     caterpillar,
     fat_tree,
@@ -53,6 +54,44 @@ def standard_topologies(*, include_random: bool = True) -> list[TreeTopology]:
 def placement_policies() -> list[str]:
     """The placement regimes crossed with every topology."""
     return ["uniform", "zipf", "single-heavy", "proportional"]
+
+
+DEFAULT_SUITE_TASKS = ("set-intersection", "cartesian-product", "sorting")
+
+
+def standard_plans(
+    *,
+    r_size: int,
+    s_size: int,
+    seed: int = 0,
+    run_seed: int | None = None,
+    tasks: Iterable[str] = DEFAULT_SUITE_TASKS,
+    include_random: bool = True,
+) -> list[RunPlan]:
+    """The full suite as engine plans: (topology × placement × task).
+
+    ``seed`` controls instance generation (which data lands where);
+    ``run_seed`` controls protocol randomness (hash functions,
+    splitter samples) and defaults to ``seed``.  Feed the result to
+    :func:`repro.engine.run_many` to evaluate the Table 1 grid
+    concurrently; report order follows the grid order.
+    """
+    return [
+        RunPlan(
+            task=task,
+            tree=tree,
+            distribution=dist,
+            seed=seed if run_seed is None else run_seed,
+            placement=policy,
+        )
+        for tree, policy, dist in instance_grid(
+            r_size=r_size,
+            s_size=s_size,
+            seed=seed,
+            include_random=include_random,
+        )
+        for task in tasks
+    ]
 
 
 def instance_grid(

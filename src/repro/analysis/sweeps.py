@@ -13,6 +13,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
+from repro.engine import run
 from repro.errors import AnalysisError
 
 _MARKERS = "ox+*#@%&"
@@ -37,6 +38,37 @@ class Sweep:
         for x in xs:
             for series_name, runner in runners.items():
                 self.add(series_name, x, runner(x))
+        return self
+
+    def run_protocols(
+        self,
+        xs: Sequence[float],
+        make_instance: Callable,
+        *,
+        task: str,
+        protocols: Sequence[str],
+        metric: str = "cost",
+        seed: int = 0,
+        include_bound: bool = True,
+    ) -> "Sweep":
+        """Sweep registered protocols over a parameter via the engine.
+
+        ``make_instance(x)`` builds the ``(tree, distribution)`` pair for
+        each grid point; every protocol contributes one series of the
+        report attribute named by ``metric``, plus a shared
+        ``lower-bound`` series unless disabled.  Returns self.
+        """
+        for x in xs:
+            tree, distribution = make_instance(x)
+            bound = None
+            for protocol in protocols:
+                report = run(
+                    task, tree, distribution, protocol=protocol, seed=seed
+                )
+                self.add(protocol, x, getattr(report, metric))
+                bound = report.lower_bound
+            if include_bound and metric == "cost" and bound is not None:
+                self.add("lower-bound", x, bound)
         return self
 
     def ratios(self, numerator: str, denominator: str) -> list[float]:

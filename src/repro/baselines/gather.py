@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.core.cartesian.routing import gather_all_pairs
 from repro.data.distribution import Distribution
+from repro.registry import register_protocol
 from repro.sim.cluster import Cluster
 from repro.sim.protocol import ProtocolResult
 from repro.topology.tree import NodeId, TreeTopology, node_sort_key
@@ -29,6 +30,12 @@ def _pick_target(
     )
 
 
+@register_protocol(
+    task="set-intersection",
+    name="gather",
+    kind="baseline",
+    description="Ship both relations to one node; intersect there",
+)
 def gather_intersect(
     tree: TreeTopology,
     distribution: Distribution,
@@ -67,6 +74,12 @@ def gather_intersect(
     )
 
 
+@register_protocol(
+    task="sorting",
+    name="gather",
+    kind="baseline",
+    description="Ship everything to one node; sort there",
+)
 def gather_sort(
     tree: TreeTopology,
     distribution: Distribution,
@@ -104,6 +117,12 @@ def gather_sort(
     )
 
 
+@register_protocol(
+    task="cartesian-product",
+    name="gather",
+    kind="baseline",
+    description="Ship both relations to one node; enumerate pairs there",
+)
 def gather_cartesian_product(
     tree: TreeTopology,
     distribution: Distribution,

@@ -22,6 +22,7 @@ from repro.core.cartesian.routing import (
 )
 from repro.data.distribution import Distribution
 from repro.errors import ProtocolError
+from repro.registry import register_protocol
 from repro.sim.cluster import Cluster
 from repro.sim.protocol import ProtocolResult
 from repro.topology.tree import TreeTopology, node_sort_key
@@ -42,6 +43,12 @@ def _lattice_shape(num_nodes: int, r_total: int, s_total: int) -> tuple[int, int
     return best[1], best[2]
 
 
+@register_protocol(
+    task="cartesian-product",
+    name="classic-hypercube",
+    kind="baseline",
+    description="Equal-rectangles HyperCube, topology-agnostic",
+)
 def classic_hypercube_cartesian_product(
     tree: TreeTopology,
     distribution: Distribution,

@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.data.distribution import Distribution
+from repro.registry import register_protocol
 from repro.sim.cluster import Cluster
 from repro.sim.protocol import ProtocolResult
 from repro.topology.tree import TreeTopology, node_sort_key
@@ -23,6 +24,13 @@ _R_RECV = "intersect.R.recv"
 _S_RECV = "intersect.S.recv"
 
 
+@register_protocol(
+    task="set-intersection",
+    name="uniform-hash",
+    kind="baseline",
+    accepts_seed=True,
+    description="Classic MPC uniform-hash join, topology-agnostic",
+)
 def uniform_hash_intersect(
     tree: TreeTopology,
     distribution: Distribution,

@@ -12,11 +12,18 @@ from repro.core.cartesian.routing import gather_all_pairs
 from repro.core.cartesian.whc import whc_cartesian_product
 from repro.data.distribution import Distribution
 from repro.errors import ProtocolError
+from repro.registry import register_protocol
 from repro.sim.cluster import Cluster
 from repro.sim.protocol import ProtocolResult
 from repro.topology.tree import TreeTopology, node_sort_key
 
 
+@register_protocol(
+    task="cartesian-product",
+    name="star",
+    topology="star",
+    description="StarCartesianProduct (Algorithm 4) on a symmetric star",
+)
 def star_cartesian_product(
     tree: TreeTopology,
     distribution: Distribution,

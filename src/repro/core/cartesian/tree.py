@@ -29,12 +29,18 @@ from repro.core.cartesian.routing import (
 from repro.core.cartesian.tree_packing import balanced_packing_tree
 from repro.data.distribution import Distribution
 from repro.errors import ProtocolError
+from repro.registry import register_protocol
 from repro.sim.cluster import Cluster
 from repro.sim.protocol import ProtocolResult
 from repro.topology.dagger import build_dagger
 from repro.topology.tree import TreeTopology
 
 
+@register_protocol(
+    task="cartesian-product",
+    name="tree",
+    description="Theorem 5 dagger-packing product on any symmetric tree",
+)
 def tree_cartesian_product(
     tree: TreeTopology,
     distribution: Distribution,

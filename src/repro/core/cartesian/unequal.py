@@ -42,6 +42,7 @@ from repro.core.cartesian.routing import (
 from repro.core.common import LowerBound
 from repro.data.distribution import Distribution
 from repro.errors import PackingError, ProtocolError
+from repro.registry import register_protocol
 from repro.sim.cluster import Cluster
 from repro.sim.protocol import ProtocolResult
 from repro.topology.tree import NodeId, TreeTopology, node_sort_key
@@ -422,6 +423,12 @@ def _strategy_generalized_whc(
     )
 
 
+@register_protocol(
+    task="cartesian-product",
+    name="unequal-star",
+    topology="star",
+    description="Algorithm 8: unequal-size cartesian product on a star",
+)
 def generalized_star_cartesian_product(
     tree: TreeTopology,
     distribution: Distribution,

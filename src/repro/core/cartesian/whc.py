@@ -27,6 +27,7 @@ from repro.core.cartesian.routing import (
 )
 from repro.data.distribution import Distribution
 from repro.errors import ProtocolError
+from repro.registry import register_protocol
 from repro.sim.cluster import Cluster
 from repro.sim.protocol import ProtocolResult
 from repro.topology.tree import NodeId, TreeTopology, node_sort_key
@@ -61,6 +62,12 @@ def whc_dimensions(
     return dims
 
 
+@register_protocol(
+    task="cartesian-product",
+    name="whc",
+    topology="star",
+    description="Weighted HyperCube (Algorithm 5) on a symmetric star",
+)
 def whc_cartesian_product(
     tree: TreeTopology,
     distribution: Distribution,

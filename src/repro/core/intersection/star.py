@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.data.distribution import Distribution
 from repro.errors import ProtocolError
+from repro.registry import register_protocol
 from repro.sim.cluster import Cluster
 from repro.sim.protocol import ProtocolResult
 from repro.topology.tree import TreeTopology, node_sort_key
@@ -26,6 +27,13 @@ _R_RECV = "intersect.R.recv"
 _S_RECV = "intersect.S.recv"
 
 
+@register_protocol(
+    task="set-intersection",
+    name="star",
+    accepts_seed=True,
+    topology="star",
+    description="StarIntersect (Algorithm 1) on a symmetric star",
+)
 def star_intersect(
     tree: TreeTopology,
     distribution: Distribution,

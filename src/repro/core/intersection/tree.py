@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.core.intersection.partition import balanced_partition, classify_edges
 from repro.data.distribution import Distribution
+from repro.registry import register_protocol
 from repro.sim.cluster import Cluster
 from repro.sim.protocol import ProtocolResult
 from repro.topology.tree import TreeTopology, node_sort_key
@@ -29,6 +30,12 @@ _R_RECV = "intersect.R.recv"
 _S_RECV = "intersect.S.recv"
 
 
+@register_protocol(
+    task="set-intersection",
+    name="tree",
+    accepts_seed=True,
+    description="TreeIntersect (Algorithm 2) on any symmetric tree",
+)
 def tree_intersect(
     tree: TreeTopology,
     distribution: Distribution,

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.data.distribution import Distribution
 from repro.errors import ProtocolError
+from repro.registry import register_protocol
 from repro.sim.cluster import Cluster
 from repro.sim.protocol import ProtocolResult
 from repro.topology.tree import NodeId, TreeTopology
@@ -62,6 +63,13 @@ def select_splitters(
     return np.asarray(splitters, dtype=np.int64)
 
 
+@register_protocol(
+    task="sorting",
+    name="terasort",
+    kind="baseline",
+    accepts_seed=True,
+    description="Classic TeraSort, topology-agnostic splitters",
+)
 def terasort(
     tree: TreeTopology,
     distribution: Distribution,

@@ -31,6 +31,7 @@ from repro.core.sorting.proportional import proportional_quotas
 from repro.core.sorting.terasort import sample_probability, select_splitters
 from repro.data.distribution import Distribution
 from repro.errors import ProtocolError
+from repro.registry import register_protocol
 from repro.sim.cluster import Cluster
 from repro.sim.protocol import ProtocolResult
 from repro.topology.tree import NodeId, TreeTopology, node_sort_key
@@ -48,6 +49,12 @@ def heavy_threshold(num_compute: int, total: int) -> float:
     return total / (2.0 * num_compute)
 
 
+@register_protocol(
+    task="sorting",
+    name="wts",
+    accepts_seed=True,
+    description="Weighted TeraSort (Section 5) on any symmetric tree",
+)
 def weighted_terasort(
     tree: TreeTopology,
     distribution: Distribution,

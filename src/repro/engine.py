@@ -1,0 +1,286 @@
+"""The execution engine: one ``run()`` for every task and protocol.
+
+Replaces the per-task ``run_intersection``/``run_cartesian``/``run_sorting``
+triplet with a single capability-driven entry point.  The engine looks
+the task and protocol up in :mod:`repro.registry`, routes keyword
+arguments by the protocol's declared capabilities (the seed only goes to
+protocols that accept one), verifies the answer with the task's
+verifier (the reproduction never reports cost for a wrong answer),
+computes the task's lower bound, and packages everything into a
+:class:`repro.report.RunReport`.
+
+Batch execution goes through :func:`run_many`, which evaluates a list
+of :class:`RunPlan` objects concurrently (the simulator is pure Python +
+numpy, and distinct runs share no state, so a thread pool is safe) and
+returns reports in plan order.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.report import RunReport
+from repro.core.cartesian.lower_bounds import cartesian_lower_bound
+from repro.core.intersection.lower_bound import intersection_lower_bound
+from repro.core.sorting.lower_bound import sorting_lower_bound
+from repro.core.sorting.ordering import verify_sorted_output
+from repro.data.distribution import Distribution
+from repro.errors import AnalysisError, ProtocolError
+from repro.queries.join import equijoin_lower_bound
+from repro.queries.tuples import DEFAULT_PAYLOAD_BITS, decode_tuples
+from repro.registry import (
+    get_protocol,
+    get_task,
+    register_task,
+)
+from repro.sim.protocol import ProtocolResult
+from repro.topology.tree import TreeTopology
+
+# Importing these modules is what populates the registry: every protocol
+# self-registers at import time.  The engine pulls them in explicitly so
+# ``from repro.engine import run`` alone sees the full catalog.
+import repro.baselines.gather  # noqa: F401
+import repro.baselines.hypercube  # noqa: F401
+import repro.baselines.uniform_hash  # noqa: F401
+import repro.core.cartesian.star  # noqa: F401
+import repro.core.cartesian.tree  # noqa: F401
+import repro.core.cartesian.unequal  # noqa: F401
+import repro.core.cartesian.whc  # noqa: F401
+import repro.core.intersection.star  # noqa: F401
+import repro.core.intersection.tree  # noqa: F401
+import repro.core.sorting.terasort  # noqa: F401
+import repro.core.sorting.wts  # noqa: F401
+import repro.queries.aggregate  # noqa: F401
+import repro.queries.join  # noqa: F401
+
+
+def _verify_intersection(
+    tree: TreeTopology, distribution: Distribution, result: ProtocolResult
+) -> None:
+    """The emitted union must equal ``R ∩ S`` exactly."""
+    expected = np.intersect1d(
+        distribution.relation("R"), distribution.relation("S")
+    )
+    found = (
+        np.unique(np.concatenate(list(result.outputs.values())))
+        if result.outputs
+        else np.empty(0, np.int64)
+    )
+    if len(found) != len(expected) or np.any(found != expected):
+        raise ProtocolError(
+            f"{result.protocol} produced a wrong intersection "
+            f"({len(found)} vs {len(expected)} elements)"
+        )
+
+
+def _verify_cartesian(
+    tree: TreeTopology, distribution: Distribution, result: ProtocolResult
+) -> None:
+    """Every ``(r, s)`` pair must be enumerated exactly once in total."""
+    expected = distribution.total("R") * distribution.total("S")
+    produced = sum(o["num_pairs"] for o in result.outputs.values())
+    if produced != expected:
+        raise ProtocolError(
+            f"{result.protocol} enumerated {produced} of {expected} pairs"
+        )
+
+
+def _verify_sorting(
+    tree: TreeTopology, distribution: Distribution, result: ProtocolResult
+) -> None:
+    verify_sorted_output(
+        tree,
+        result.outputs,
+        result.meta["order"],
+        distribution.relation("R"),
+    )
+
+
+def _verify_equijoin(
+    tree: TreeTopology, distribution: Distribution, result: ProtocolResult
+) -> None:
+    """The join must produce ``sum_k cnt_R(k) * cnt_S(k)`` pairs."""
+    payload_bits = result.meta.get("payload_bits", DEFAULT_PAYLOAD_BITS)
+    r_keys, _ = decode_tuples(
+        distribution.relation("R"), payload_bits=payload_bits
+    )
+    s_keys, _ = decode_tuples(
+        distribution.relation("S"), payload_bits=payload_bits
+    )
+    r_unique, r_counts = np.unique(r_keys, return_counts=True)
+    s_unique, s_counts = np.unique(s_keys, return_counts=True)
+    common, r_index, s_index = np.intersect1d(
+        r_unique, s_unique, return_indices=True
+    )
+    expected = int(np.sum(r_counts[r_index] * s_counts[s_index]))
+    produced = sum(o["num_pairs"] for o in result.outputs.values())
+    if produced != expected:
+        raise ProtocolError(
+            f"{result.protocol} joined {produced} of {expected} pairs"
+        )
+
+
+def _verify_aggregate(
+    tree: TreeTopology, distribution: Distribution, result: ProtocolResult
+) -> None:
+    """Every distinct input key must appear at exactly one node."""
+    keys, _ = decode_tuples(distribution.relation("R"))
+    expected = len(np.unique(keys))
+    produced = sum(len(groups) for groups in result.outputs.values())
+    if produced != expected:
+        raise ProtocolError(
+            f"{result.protocol} emitted {produced} of {expected} groups"
+        )
+
+
+register_task(
+    "set-intersection",
+    default_protocol="tree",
+    verifier=_verify_intersection,
+    lower_bound=intersection_lower_bound,
+    aliases=("intersection",),
+)
+register_task(
+    "cartesian-product",
+    default_protocol="tree",
+    verifier=_verify_cartesian,
+    lower_bound=cartesian_lower_bound,
+    aliases=("cartesian",),
+)
+register_task(
+    "sorting",
+    default_protocol="wts",
+    verifier=_verify_sorting,
+    lower_bound=sorting_lower_bound,
+    aliases=("sort",),
+)
+register_task(
+    "equijoin",
+    default_protocol="tree",
+    verifier=_verify_equijoin,
+    lower_bound=equijoin_lower_bound,
+    aliases=("join",),
+)
+register_task(
+    "groupby-aggregate",
+    default_protocol="tree",
+    verifier=_verify_aggregate,
+    lower_bound=None,
+    aliases=("aggregate", "groupby"),
+)
+
+
+def run(
+    task: str,
+    tree: TreeTopology,
+    distribution: Distribution,
+    *,
+    protocol: str | None = None,
+    seed: int = 0,
+    placement: str = "custom",
+    verify: bool = True,
+    **opts,
+) -> RunReport:
+    """Run one protocol on one instance and report cost versus bound.
+
+    Parameters
+    ----------
+    task:
+        Registered task name or alias (``"set-intersection"``,
+        ``"cartesian"``, ``"sorting"``, ``"equijoin"``, ...).
+    tree, distribution:
+        The instance: a topology and an initial data placement on it.
+    protocol:
+        Protocol name from the catalog; defaults to the task's
+        registered default (the paper's topology-aware algorithm).
+    seed:
+        Routed to the protocol only if its spec declares
+        ``accepts_seed``; callers never need to know which ones do.
+    placement:
+        Label recorded in the report (the placement policy name).
+    verify:
+        Check the answer with the task's verifier before reporting.
+    opts:
+        Extra keyword arguments forwarded to the protocol unchanged
+        (e.g. ``blocks=...`` for ablations, ``materialize=True``).
+    """
+    task_spec = get_task(task)
+    spec = get_protocol(task_spec.name, protocol or task_spec.default_protocol)
+    result = spec.call(tree, distribution, seed=seed, **opts)
+    if verify and task_spec.verifier is not None:
+        task_spec.verifier(tree, distribution, result)
+    bound = (
+        task_spec.lower_bound(tree, distribution)
+        if task_spec.lower_bound is not None
+        else None
+    )
+    return RunReport(
+        task=task_spec.name,
+        protocol=result.protocol,
+        topology=tree.name,
+        placement=placement,
+        input_size=distribution.total(),
+        rounds=result.rounds,
+        cost=result.cost,
+        lower_bound=bound.value if bound is not None else 0.0,
+        meta={
+            "result": result.meta,
+            "bound": bound.description if bound is not None else "",
+        },
+    )
+
+
+@dataclass
+class RunPlan:
+    """One cell of a batch: everything :func:`run` needs for one call."""
+
+    task: str
+    tree: TreeTopology
+    distribution: Distribution
+    protocol: str | None = None
+    seed: int = 0
+    placement: str = "custom"
+    verify: bool = True
+    opts: dict = field(default_factory=dict)
+
+    def execute(self) -> RunReport:
+        return run(
+            self.task,
+            self.tree,
+            self.distribution,
+            protocol=self.protocol,
+            seed=self.seed,
+            placement=self.placement,
+            verify=self.verify,
+            **self.opts,
+        )
+
+
+def run_many(
+    plans: Iterable[RunPlan | dict],
+    *,
+    workers: int | None = None,
+) -> list[RunReport]:
+    """Execute plans concurrently; reports come back in plan order.
+
+    ``plans`` may mix :class:`RunPlan` instances and plain dicts with the
+    same field names.  ``workers=1`` (or a single plan) degrades to a
+    sequential loop, so failures surface with clean tracebacks; any
+    worker's exception propagates after the pool drains.
+    """
+    if workers is not None and workers < 1:
+        raise AnalysisError(f"workers must be >= 1, got {workers}")
+    normalized: list[RunPlan] = [
+        plan if isinstance(plan, RunPlan) else RunPlan(**plan)
+        for plan in plans
+    ]
+    if not normalized:
+        return []
+    if workers == 1 or len(normalized) == 1:
+        return [plan.execute() for plan in normalized]
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(RunPlan.execute, normalized))

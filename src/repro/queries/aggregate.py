@@ -26,6 +26,7 @@ import numpy as np
 from repro.data.distribution import Distribution
 from repro.errors import ProtocolError
 from repro.queries.tuples import DEFAULT_PAYLOAD_BITS, decode_tuples, encode_tuples
+from repro.registry import register_protocol
 from repro.sim.cluster import Cluster
 from repro.sim.protocol import ProtocolResult
 from repro.topology.tree import TreeTopology, node_sort_key
@@ -60,6 +61,12 @@ def _combine(
     return unique_keys, reducer(values, starts)
 
 
+@register_protocol(
+    task="groupby-aggregate",
+    name="tree",
+    accepts_seed=True,
+    description="Per-key aggregation of encoded tuples across the tree",
+)
 def tree_groupby_aggregate(
     tree: TreeTopology,
     distribution: Distribution,

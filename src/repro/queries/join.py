@@ -29,6 +29,7 @@ from repro.core.intersection.partition import balanced_partition
 from repro.core.common import LowerBound
 from repro.data.distribution import Distribution
 from repro.queries.tuples import DEFAULT_PAYLOAD_BITS, decode_tuples
+from repro.registry import register_protocol
 from repro.sim.cluster import Cluster
 from repro.sim.protocol import ProtocolResult
 from repro.topology.tree import TreeTopology, node_sort_key
@@ -100,6 +101,12 @@ def _local_join(
     return result
 
 
+@register_protocol(
+    task="equijoin",
+    name="tree",
+    accepts_seed=True,
+    description="Single-round equi-join of encoded relations on any tree",
+)
 def tree_equijoin(
     tree: TreeTopology,
     distribution: Distribution,

@@ -1,0 +1,152 @@
+"""Run reports: one row per (task, protocol, topology, placement) cell."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.util.text import render_table
+
+
+def _jsonify(value: Any) -> Any:
+    """Coerce a report payload to JSON-serializable builtins.
+
+    Protocol ``meta`` dicts carry numpy scalars/arrays and frozensets;
+    anything else unserializable degrades to ``repr`` rather than
+    failing the export.
+    """
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (frozenset, set)):
+        return sorted(_jsonify(v) for v in value)
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    return repr(value)
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Outcome of one protocol execution compared against its lower bound."""
+
+    task: str
+    protocol: str
+    topology: str
+    placement: str
+    input_size: int
+    rounds: int
+    cost: float
+    lower_bound: float
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def ratio(self) -> float:
+        """``cost / lower_bound`` (the optimality ratio of Table 1)."""
+        if self.lower_bound > 0:
+            return self.cost / self.lower_bound
+        return 0.0 if self.cost == 0 else float("inf")
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form; ``from_dict`` round-trips it.
+
+        ``ratio`` is included for downstream consumers even though it is
+        derived; ``meta`` is coerced to builtins (numpy arrays become
+        lists), so a report that went through JSON compares equal on
+        every scalar field but not necessarily on ``meta``.
+        """
+        return {
+            "task": self.task,
+            "protocol": self.protocol,
+            "topology": self.topology,
+            "placement": self.placement,
+            "input_size": self.input_size,
+            "rounds": self.rounds,
+            "cost": self.cost,
+            "lower_bound": self.lower_bound,
+            "ratio": self.ratio,
+            "meta": _jsonify(self.meta),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunReport":
+        """Rebuild a report from :meth:`to_dict` output (or parsed JSON)."""
+        try:
+            return cls(
+                task=payload["task"],
+                protocol=payload["protocol"],
+                topology=payload["topology"],
+                placement=payload["placement"],
+                input_size=int(payload["input_size"]),
+                rounds=int(payload["rounds"]),
+                cost=float(payload["cost"]),
+                lower_bound=float(payload["lower_bound"]),
+                meta=payload.get("meta", {}),
+            )
+        except KeyError as missing:
+            raise AnalysisError(
+                f"report payload is missing field {missing}"
+            ) from None
+
+    def as_row(self) -> list:
+        return [
+            self.task,
+            self.protocol,
+            self.topology,
+            self.placement,
+            self.input_size,
+            self.rounds,
+            self.cost,
+            self.lower_bound,
+            self.ratio,
+        ]
+
+
+REPORT_HEADERS = [
+    "task",
+    "protocol",
+    "topology",
+    "placement",
+    "N",
+    "rounds",
+    "cost",
+    "lower bound",
+    "ratio",
+]
+
+
+def summarize_reports(
+    reports: Sequence[RunReport], *, title: str | None = None
+) -> str:
+    """Render reports as a text table, one row per run."""
+    if not reports:
+        raise AnalysisError("no reports to summarize")
+    return render_table(
+        REPORT_HEADERS, [r.as_row() for r in reports], title=title
+    )
+
+
+def aggregate(reports: Iterable[RunReport]) -> dict:
+    """Max rounds and max/mean ratio per task — the Table 1 claims."""
+    by_task: dict[str, list[RunReport]] = {}
+    for report in reports:
+        by_task.setdefault(report.task, []).append(report)
+    summary: dict = {}
+    for task, rows in sorted(by_task.items()):
+        finite = [r.ratio for r in rows if r.ratio != float("inf")]
+        summary[task] = {
+            "runs": len(rows),
+            "max_rounds": max(r.rounds for r in rows),
+            "max_ratio": max(finite) if finite else float("inf"),
+            "mean_ratio": sum(finite) / len(finite) if finite else float("inf"),
+        }
+    return summary

@@ -17,6 +17,7 @@ from repro.analysis.suites import (
 )
 from repro.data.generators import random_distribution
 from repro.errors import AnalysisError
+from repro.registry import get_protocol
 from repro.topology.builders import star, two_level
 
 
@@ -48,21 +49,25 @@ class TestRunners:
         assert report.task == "sorting"
         assert report.rounds <= 4
 
+    @staticmethod
+    def _instance_for(task, protocol, default):
+        """Build a star instance when the spec says the protocol needs one."""
+        if get_protocol(task, protocol).topology == "star":
+            tree = star(4)
+            return tree, random_distribution(
+                tree, r_size=50, s_size=50, seed=2
+            )
+        return default
+
     @pytest.mark.parametrize("protocol", sorted(INTERSECTION_PROTOCOLS))
     def test_all_intersection_protocols_run(self, instance, protocol):
-        tree, dist = instance
-        if protocol == "star":
-            tree = star(4)
-            dist = random_distribution(tree, r_size=50, s_size=50, seed=2)
+        tree, dist = self._instance_for("set-intersection", protocol, instance)
         report = run_intersection(tree, dist, protocol=protocol)
         assert report.cost >= 0
 
     @pytest.mark.parametrize("protocol", sorted(CARTESIAN_PROTOCOLS))
     def test_all_cartesian_protocols_run(self, instance, protocol):
-        tree, dist = instance
-        if protocol == "star":
-            tree = star(4)
-            dist = random_distribution(tree, r_size=50, s_size=50, seed=2)
+        tree, dist = self._instance_for("cartesian-product", protocol, instance)
         report = run_cartesian(tree, dist, protocol=protocol)
         assert report.cost >= 0
 
