@@ -29,6 +29,7 @@ from repro.errors import (
     AnalysisError,
     DistributionError,
     PackingError,
+    PlanError,
     ProtocolError,
     ReproError,
     TopologyError,
@@ -60,6 +61,7 @@ from repro.data import (
     place_uniform,
     place_zipf,
     random_distribution,
+    random_tuple_distribution,
 )
 from repro.sim import Cluster, CostLedger, ProtocolResult
 from repro.core.common import LowerBound
@@ -108,7 +110,8 @@ from repro.registry import (
     register_task,
     tasks,
 )
-from repro.engine import RunPlan, run, run_many
+from repro.engine import RunPlan, run, run_many, run_plan
+from repro.report import PlanReport
 from repro.analysis import (
     RunReport,
     run_cartesian,
@@ -128,6 +131,7 @@ __all__ = [
     "ProtocolError",
     "PackingError",
     "AnalysisError",
+    "PlanError",
     # topology
     "TreeTopology",
     "star",
@@ -154,6 +158,7 @@ __all__ = [
     "place_proportional",
     "random_distribution",
     "adversarial_sorted_distribution",
+    "random_tuple_distribution",
     # simulator
     "Cluster",
     "CostLedger",
@@ -199,6 +204,9 @@ __all__ = [
     "run",
     "run_many",
     "RunPlan",
+    # query planner (repro.plan has the full subsystem API)
+    "run_plan",
+    "PlanReport",
     # analysis
     "RunReport",
     "run_intersection",

@@ -6,6 +6,7 @@ Usage::
     python -m repro compare             # topology-aware vs baselines
     python -m repro topology            # draw the builder topologies
     python -m repro protocols           # the registered protocol catalog
+    python -m repro plan --explain      # planner vs gather/worst-order
     python -m repro table1 --r-size 2000 --s-size 2000 --seed 7
 
 Each command prints the same plain-text tables the benchmark harness
@@ -18,7 +19,11 @@ import argparse
 import sys
 
 from repro.report import aggregate, summarize_reports
-from repro.analysis.suites import standard_plans, standard_topologies
+from repro.analysis.suites import (
+    ALL_SUITE_TASKS,
+    standard_plans,
+    standard_topologies,
+)
 from repro.data.generators import random_distribution
 from repro.engine import run, run_many
 from repro.errors import ReproError
@@ -31,7 +36,10 @@ from repro.util.text import render_table
 def _cmd_table1(args: argparse.Namespace) -> int:
     reports = run_many(
         standard_plans(
-            r_size=args.r_size, s_size=args.s_size, seed=args.seed
+            r_size=args.r_size,
+            s_size=args.s_size,
+            seed=args.seed,
+            tasks=ALL_SUITE_TASKS,
         ),
         workers=args.workers,
     )
@@ -113,6 +121,61 @@ def _cmd_topology(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_plan(args: argparse.Namespace) -> int:
+    """Run a multi-relation chain join across the standard suite."""
+    from repro.plan import chain_catalog, chain_query, optimize
+    from repro.plan.executor import execute_plan
+
+    query = chain_query(args.relations)
+    rows = []
+    for tree in standard_topologies():
+        catalog = chain_catalog(
+            tree,
+            num_relations=args.relations,
+            rows=args.rows,
+            seed=args.seed,
+            policy=args.placement,
+        )
+        reports = {}
+        for strategy in ("optimized", "gather", "worst-order"):
+            physical = optimize(query, tree, catalog, strategy=strategy)
+            reports[strategy] = execute_plan(
+                physical, tree, catalog, seed=args.seed
+            )
+            if args.explain and strategy == "optimized":
+                print(physical.explain())
+                print()
+        optimized = reports["optimized"]
+        rows.append(
+            [
+                tree.name,
+                f"{optimized.cost:.0f}",
+                f"{optimized.estimated_cost:.0f}",
+                f"{reports['gather'].cost:.0f}",
+                f"{reports['worst-order'].cost:.0f}",
+                f"{reports['gather'].cost / max(optimized.cost, 1e-9):.2f}x",
+            ]
+        )
+    print(
+        render_table(
+            [
+                "topology",
+                "optimized",
+                "estimated",
+                "gather-everything",
+                "worst-order",
+                "speedup vs gather",
+            ],
+            rows,
+            title=(
+                f"Query planner: {args.relations}-relation chain join, "
+                f"{args.rows} rows/relation, {args.placement} placement"
+            ),
+        )
+    )
+    return 0
+
+
 def _cmd_protocols(args: argparse.Namespace) -> int:
     rows = [
         [
@@ -154,8 +217,31 @@ def main(argv: list[str] | None = None) -> int:
         "--verbose", action="store_true", help="print per-instance rows"
     )
     parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="plan: print the chosen physical plan per topology",
+    )
+    parser.add_argument(
+        "--relations",
+        type=int,
+        default=3,
+        help="plan: number of chain-join relations (default 3)",
+    )
+    parser.add_argument(
+        "--rows",
+        type=int,
+        default=1_500,
+        help="plan: rows per base relation (default 1500)",
+    )
+    parser.add_argument(
+        "--placement",
+        default="proportional",
+        choices=["uniform", "zipf", "single-heavy", "proportional"],
+        help="plan: placement policy for the base relations",
+    )
+    parser.add_argument(
         "command",
-        choices=["table1", "compare", "topology", "protocols"],
+        choices=["table1", "compare", "topology", "protocols", "plan"],
         help="which reproduction to run",
     )
     args = parser.parse_args(argv)
@@ -164,6 +250,7 @@ def main(argv: list[str] | None = None) -> int:
         "compare": _cmd_compare,
         "topology": _cmd_topology,
         "protocols": _cmd_protocols,
+        "plan": _cmd_plan,
     }
     try:
         return handlers[args.command](args)

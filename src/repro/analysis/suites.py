@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Callable, Iterable
 
 from repro.data.distribution import Distribution
-from repro.data.generators import random_distribution
+from repro.data.generators import random_distribution, random_tuple_distribution
 from repro.engine import RunPlan
 from repro.topology.builders import (
     caterpillar,
@@ -58,6 +58,13 @@ def placement_policies() -> list[str]:
 
 DEFAULT_SUITE_TASKS = ("set-intersection", "cartesian-product", "sorting")
 
+# The multi-input relational tasks need keyed-tuple workloads, not the
+# set pairs the paper's three tasks consume; standard_plans builds the
+# matching instance per task so the whole catalog sweeps on one grid.
+TUPLE_SUITE_TASKS = ("equijoin", "groupby-aggregate")
+
+ALL_SUITE_TASKS = DEFAULT_SUITE_TASKS + TUPLE_SUITE_TASKS
+
 
 def standard_plans(
     *,
@@ -72,26 +79,48 @@ def standard_plans(
 
     ``seed`` controls instance generation (which data lands where);
     ``run_seed`` controls protocol randomness (hash functions,
-    splitter samples) and defaults to ``seed``.  Feed the result to
-    :func:`repro.engine.run_many` to evaluate the Table 1 grid
-    concurrently; report order follows the grid order.
+    splitter samples) and defaults to ``seed``.  Set-valued tasks run
+    on a shared set-pair instance per grid cell; the relational tasks
+    (``equijoin``, ``groupby-aggregate``) get a keyed-tuple instance on
+    the same topology and placement, so every registered task — not
+    just the paper's three — sweeps the same grid.  Feed the result to
+    :func:`repro.engine.run_many` to evaluate the grid concurrently;
+    report order follows the grid order.
     """
-    return [
-        RunPlan(
-            task=task,
-            tree=tree,
-            distribution=dist,
-            seed=seed if run_seed is None else run_seed,
-            placement=policy,
-        )
-        for tree, policy, dist in instance_grid(
-            r_size=r_size,
-            s_size=s_size,
-            seed=seed,
-            include_random=include_random,
-        )
-        for task in tasks
-    ]
+    task_list = list(tasks)
+    set_tasks = [t for t in task_list if t not in TUPLE_SUITE_TASKS]
+    tuple_tasks = [t for t in task_list if t in TUPLE_SUITE_TASKS]
+    plans = []
+    for tree in standard_topologies(include_random=include_random):
+        for policy in placement_policies():
+            instances = {}
+            if set_tasks:
+                instances[False] = random_distribution(
+                    tree,
+                    r_size=r_size,
+                    s_size=s_size,
+                    policy=policy,
+                    seed=seed,
+                )
+            if tuple_tasks:
+                instances[True] = random_tuple_distribution(
+                    tree,
+                    r_size=r_size,
+                    s_size=s_size,
+                    policy=policy,
+                    seed=seed,
+                )
+            for task in task_list:
+                plans.append(
+                    RunPlan(
+                        task=task,
+                        tree=tree,
+                        distribution=instances[task in TUPLE_SUITE_TASKS],
+                        seed=seed if run_seed is None else run_seed,
+                        placement=policy,
+                    )
+                )
+    return plans
 
 
 def instance_grid(
@@ -100,11 +129,17 @@ def instance_grid(
     s_size: int,
     seed: int = 0,
     include_random: bool = True,
+    tuples: bool = False,
 ) -> Iterable[tuple[TreeTopology, str, Distribution]]:
-    """Yield ``(topology, policy, distribution)`` across the full suite."""
+    """Yield ``(topology, policy, distribution)`` across the full suite.
+
+    ``tuples=True`` yields keyed-tuple instances (for the relational
+    tasks) instead of set pairs.
+    """
+    generator = random_tuple_distribution if tuples else random_distribution
     for tree in standard_topologies(include_random=include_random):
         for policy in placement_policies():
-            yield tree, policy, random_distribution(
+            yield tree, policy, generator(
                 tree,
                 r_size=r_size,
                 s_size=s_size,

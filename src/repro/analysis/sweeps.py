@@ -50,20 +50,30 @@ class Sweep:
         metric: str = "cost",
         seed: int = 0,
         include_bound: bool = True,
+        opts: Mapping | None = None,
     ) -> "Sweep":
         """Sweep registered protocols over a parameter via the engine.
 
         ``make_instance(x)`` builds the ``(tree, distribution)`` pair for
         each grid point; every protocol contributes one series of the
         report attribute named by ``metric``, plus a shared
-        ``lower-bound`` series unless disabled.  Returns self.
+        ``lower-bound`` series unless disabled.  ``opts`` are forwarded
+        to every run unchanged — the hook the multi-input tasks need
+        (``payload_bits=...`` for the relational operators, ``op=...``
+        for aggregation).  Returns self.
         """
+        extra = dict(opts or {})
         for x in xs:
             tree, distribution = make_instance(x)
             bound = None
             for protocol in protocols:
                 report = run(
-                    task, tree, distribution, protocol=protocol, seed=seed
+                    task,
+                    tree,
+                    distribution,
+                    protocol=protocol,
+                    seed=seed,
+                    **extra,
                 )
                 self.add(protocol, x, getattr(report, metric))
                 bound = report.lower_bound

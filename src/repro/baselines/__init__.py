@@ -8,10 +8,16 @@ the topology-aware algorithms; on heterogeneous trees and skewed
 placements the benchmarks show where and by how much they lose.
 """
 
-from repro.baselines.uniform_hash import uniform_hash_intersect
+from repro.baselines.uniform_hash import (
+    uniform_hash_equijoin,
+    uniform_hash_groupby,
+    uniform_hash_intersect,
+)
 from repro.baselines.hypercube import classic_hypercube_cartesian_product
 from repro.baselines.gather import (
     gather_cartesian_product,
+    gather_equijoin,
+    gather_groupby,
     gather_intersect,
     gather_sort,
 )
@@ -19,6 +25,10 @@ from repro.core.sorting.terasort import terasort as classic_terasort
 
 __all__ = [
     "uniform_hash_intersect",
+    "uniform_hash_equijoin",
+    "uniform_hash_groupby",
+    "gather_equijoin",
+    "gather_groupby",
     "classic_hypercube_cartesian_product",
     "classic_terasort",
     "gather_intersect",

@@ -13,6 +13,9 @@ import numpy as np
 
 from repro.core.cartesian.routing import gather_all_pairs
 from repro.data.distribution import Distribution
+from repro.queries.aggregate import combine_per_key
+from repro.queries.join import local_join
+from repro.queries.tuples import DEFAULT_PAYLOAD_BITS, decode_tuples
 from repro.registry import register_protocol
 from repro.sim.cluster import Cluster
 from repro.sim.protocol import ProtocolResult
@@ -144,4 +147,104 @@ def gather_cartesian_product(
     return ProtocolResult.from_ledger(
         "gather-cartesian", cluster.ledger, outputs=outputs,
         meta={"target": target},
+    )
+
+
+@register_protocol(
+    task="equijoin",
+    name="gather",
+    kind="baseline",
+    description="Ship both relations to one node; join there",
+)
+def gather_equijoin(
+    tree: TreeTopology,
+    distribution: Distribution,
+    *,
+    target: NodeId | None = None,
+    r_tag: str = "R",
+    s_tag: str = "S",
+    payload_bits: int = DEFAULT_PAYLOAD_BITS,
+    materialize: bool = False,
+    bits_per_element: int = 64,
+) -> ProtocolResult:
+    """Ship both encoded relations to one node; join there."""
+    distribution.validate_for(tree)
+    if target is None:
+        target = _pick_target(tree, distribution, (r_tag, s_tag))
+    cluster = Cluster(tree, distribution, bits_per_element=bits_per_element)
+    with cluster.round() as ctx:
+        for node in sorted(tree.compute_nodes, key=node_sort_key):
+            if node == target:
+                continue
+            for tag in (r_tag, s_tag):
+                local = cluster.local(node, tag)
+                if len(local):
+                    ctx.send(node, target, local, tag=f"{_RECV}.{tag}")
+    r_all = np.concatenate(
+        [cluster.local(target, r_tag), cluster.local(target, f"{_RECV}.{r_tag}")]
+    )
+    s_all = np.concatenate(
+        [cluster.local(target, s_tag), cluster.local(target, f"{_RECV}.{s_tag}")]
+    )
+    empty = {"num_pairs": 0, "num_keys": 0}
+    if materialize:
+        empty["pairs"] = np.empty((0, 3), np.int64)
+    outputs = {v: dict(empty) for v in tree.compute_nodes}
+    outputs[target] = local_join(
+        r_all, s_all, payload_bits=payload_bits, materialize=materialize
+    )
+    return ProtocolResult.from_ledger(
+        "gather-equijoin",
+        cluster.ledger,
+        outputs=outputs,
+        meta={"target": target, "payload_bits": payload_bits},
+    )
+
+
+@register_protocol(
+    task="groupby-aggregate",
+    name="gather",
+    kind="baseline",
+    description="Ship all tuples to one node; aggregate there",
+)
+def gather_groupby(
+    tree: TreeTopology,
+    distribution: Distribution,
+    *,
+    op: str = "sum",
+    target: NodeId | None = None,
+    tag: str = "R",
+    payload_bits: int = DEFAULT_PAYLOAD_BITS,
+    bits_per_element: int = 64,
+) -> ProtocolResult:
+    """Ship every tuple to one node; aggregate per key there.
+
+    No combiner: the point of the baseline is the cost of centralizing
+    raw data, which the pre-aggregated tree protocol avoids.
+    """
+    distribution.validate_for(tree)
+    if target is None:
+        target = _pick_target(tree, distribution, (tag,))
+    cluster = Cluster(tree, distribution, bits_per_element=bits_per_element)
+    with cluster.round() as ctx:
+        for node in sorted(tree.compute_nodes, key=node_sort_key):
+            if node == target:
+                continue
+            local = cluster.local(node, tag)
+            if len(local):
+                ctx.send(node, target, local, tag=_RECV)
+    gathered = np.concatenate(
+        [cluster.local(target, tag), cluster.local(target, _RECV)]
+    )
+    keys, values = decode_tuples(gathered, payload_bits=payload_bits)
+    final_keys, final_values = combine_per_key(keys, values, op)
+    outputs = {v: {} for v in tree.compute_nodes}
+    outputs[target] = {
+        int(k): int(val) for k, val in zip(final_keys, final_values)
+    }
+    return ProtocolResult.from_ledger(
+        "gather-groupby",
+        cluster.ledger,
+        outputs=outputs,
+        meta={"target": target, "op": op, "payload_bits": payload_bits},
     )

@@ -13,6 +13,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.data.distribution import Distribution
+from repro.queries.aggregate import combine_per_key
+from repro.queries.join import local_join
+from repro.queries.tuples import DEFAULT_PAYLOAD_BITS, decode_tuples, encode_tuples
 from repro.registry import register_protocol
 from repro.sim.cluster import Cluster
 from repro.sim.protocol import ProtocolResult
@@ -22,6 +25,9 @@ from repro.util.seeding import derive_seed
 
 _R_RECV = "intersect.R.recv"
 _S_RECV = "intersect.S.recv"
+_JOIN_R_RECV = "join.R.recv"
+_JOIN_S_RECV = "join.S.recv"
+_AGG_RECV = "aggregate.recv"
 
 
 @register_protocol(
@@ -64,4 +70,137 @@ def uniform_hash_intersect(
     }
     return ProtocolResult.from_ledger(
         "uniform-hash-intersect", cluster.ledger, outputs=outputs
+    )
+
+
+@register_protocol(
+    task="equijoin",
+    name="uniform-hash",
+    kind="baseline",
+    accepts_seed=True,
+    description="Classic MPC hash join on keys, topology-agnostic",
+)
+def uniform_hash_equijoin(
+    tree: TreeTopology,
+    distribution: Distribution,
+    *,
+    seed: int = 0,
+    r_tag: str = "R",
+    s_tag: str = "S",
+    payload_bits: int = DEFAULT_PAYLOAD_BITS,
+    materialize: bool = False,
+    bits_per_element: int = 64,
+) -> ProtocolResult:
+    """Hash both relations uniformly by key; join co-located fragments.
+
+    The MPC-model strategy: every compute node receives ``1/|V_C|`` of
+    each relation regardless of its bandwidth or how much data it
+    already holds, so on skewed topologies it loses to the
+    distribution-aware tree protocol by the bandwidth spread.
+    """
+    distribution.validate_for(tree)
+    computes = sorted(tree.compute_nodes, key=node_sort_key)
+    hasher = WeightedNodeHasher(
+        computes, [1.0] * len(computes), derive_seed(seed, "uniform-join")
+    )
+    cluster = Cluster(tree, distribution, bits_per_element=bits_per_element)
+    with cluster.round() as ctx:
+        for node in computes:
+            for tag, recv in ((r_tag, _JOIN_R_RECV), (s_tag, _JOIN_S_RECV)):
+                local = cluster.local(node, tag)
+                if not len(local):
+                    continue
+                keys = np.asarray(local, dtype=np.int64) >> payload_bits
+                targets = hasher.assign_indices(keys)
+                for index in np.unique(targets):
+                    ctx.send(
+                        node, computes[index], local[targets == index], tag=recv
+                    )
+    outputs = {
+        v: local_join(
+            cluster.local(v, _JOIN_R_RECV),
+            cluster.local(v, _JOIN_S_RECV),
+            payload_bits=payload_bits,
+            materialize=materialize,
+        )
+        for v in computes
+    }
+    return ProtocolResult.from_ledger(
+        "uniform-hash-equijoin",
+        cluster.ledger,
+        outputs=outputs,
+        meta={"payload_bits": payload_bits},
+    )
+
+
+@register_protocol(
+    task="groupby-aggregate",
+    name="uniform-hash",
+    kind="baseline",
+    accepts_seed=True,
+    description="Pre-aggregate locally, then hash partials uniformly",
+)
+def uniform_hash_groupby(
+    tree: TreeTopology,
+    distribution: Distribution,
+    *,
+    op: str = "sum",
+    seed: int = 0,
+    tag: str = "R",
+    payload_bits: int = DEFAULT_PAYLOAD_BITS,
+    pre_aggregate: bool = True,
+    bits_per_element: int = 64,
+) -> ProtocolResult:
+    """Group-by with a uniform (topology-agnostic) partial shuffle.
+
+    Same combiner as the tree protocol, but partials are hashed to a
+    uniformly random owner instead of a placement-weighted one, so
+    data-light nodes behind slow links own as many groups as anyone.
+    """
+    distribution.validate_for(tree)
+    computes = sorted(tree.compute_nodes, key=node_sort_key)
+    hasher = WeightedNodeHasher(
+        computes, [1.0] * len(computes), derive_seed(seed, "uniform-groupby")
+    )
+    combine_op = op
+    final_op = "sum" if op == "count" else op
+    cluster = Cluster(tree, distribution, bits_per_element=bits_per_element)
+    with cluster.round() as ctx:
+        for v in computes:
+            local = cluster.local(v, tag)
+            if not len(local):
+                continue
+            keys, values = decode_tuples(local, payload_bits=payload_bits)
+            if pre_aggregate:
+                keys, values = combine_per_key(keys, values, combine_op)
+                payload = encode_tuples(keys, values, payload_bits=payload_bits)
+            else:
+                payload = local
+            targets = hasher.assign_indices(keys)
+            for index in np.unique(targets):
+                ctx.send(
+                    v, computes[index], payload[targets == index], tag=_AGG_RECV
+                )
+    outputs: dict = {}
+    for v in computes:
+        keys, values = decode_tuples(
+            cluster.local(v, _AGG_RECV), payload_bits=payload_bits
+        )
+        # Pre-aggregated `count` partials are counts, combined by `sum`;
+        # raw tuples finalize under the original op.
+        final_keys, final_values = combine_per_key(
+            keys, values, final_op if pre_aggregate else op
+        )
+        outputs[v] = {
+            int(k): int(val) for k, val in zip(final_keys, final_values)
+        }
+    return ProtocolResult.from_ledger(
+        "uniform-hash-groupby",
+        cluster.ledger,
+        outputs=outputs,
+        meta={
+            "op": op,
+            "pre_aggregate": pre_aggregate,
+            "payload_bits": payload_bits,
+        },
     )

@@ -20,6 +20,7 @@ from repro.data.generators import (
     place_uniform,
     place_zipf,
     random_distribution,
+    random_tuple_distribution,
 )
 
 __all__ = [
@@ -33,4 +34,5 @@ __all__ = [
     "place_proportional",
     "adversarial_sorted_distribution",
     "random_distribution",
+    "random_tuple_distribution",
 ]

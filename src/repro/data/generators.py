@@ -137,6 +137,44 @@ def place_proportional(
     return place_by_weights(total, nodes, weight_list)
 
 
+def placement_sizes(
+    tree: TreeTopology,
+    total: int,
+    policy: str,
+    nodes: Sequence[NodeId] | None = None,
+    *,
+    zipf_exponent: float = 1.0,
+    heavy_fraction: float = 0.8,
+) -> dict:
+    """Per-node sizes for a named placement policy — the single dispatch.
+
+    ``policy`` is one of ``uniform``, ``zipf``, ``single-heavy``,
+    ``proportional`` (to compute-node uplink bandwidth, with infinite
+    links weighted as if they carried the whole input).  Every
+    generator that accepts a policy name routes through here.
+    """
+    if nodes is None:
+        nodes = tree.left_to_right_compute_order()
+    if policy == "uniform":
+        return place_uniform(total, nodes)
+    if policy == "zipf":
+        return place_zipf(total, nodes, exponent=zipf_exponent)
+    if policy == "single-heavy":
+        return place_single_heavy(
+            total, nodes, heavy_fraction=heavy_fraction
+        )
+    if policy == "proportional":
+        uplinks = {
+            n: tree.bandwidth(n, tree.neighbors(n)[0]) for n in nodes
+        }
+        finite = {
+            n: (w if np.isfinite(w) else max(1.0, float(total)))
+            for n, w in uplinks.items()
+        }
+        return place_proportional(total, nodes, finite)
+    raise DistributionError(f"unknown placement policy {policy!r}")
+
+
 def place_by_weights(
     total: int, nodes: Sequence[NodeId], weights: np.ndarray
 ) -> dict:
@@ -233,37 +271,74 @@ def random_distribution(
         r_size, s_size, intersection_size=intersection_size, seed=seed
     )
 
-    def sizes_for(total: int, which: str) -> dict:
-        if policy == "uniform":
-            return place_uniform(total, nodes)
-        if policy == "zipf":
-            return place_zipf(total, nodes, exponent=zipf_exponent)
-        if policy == "single-heavy":
-            return place_single_heavy(
-                total, nodes, heavy_fraction=heavy_fraction
-            )
-        if policy == "proportional":
-            uplinks = {
-                n: tree.bandwidth(n, tree.neighbors(n)[0]) for n in nodes
-            }
-            finite = {
-                n: (w if np.isfinite(w) else max(1.0, r_size + s_size))
-                for n, w in uplinks.items()
-            }
-            return place_proportional(total, nodes, finite)
-        raise DistributionError(f"unknown placement policy {policy!r}")
+    def sizes_for(total: int) -> dict:
+        return placement_sizes(
+            tree,
+            total,
+            policy,
+            nodes,
+            zipf_exponent=zipf_exponent,
+            heavy_fraction=heavy_fraction,
+        )
 
     r_part = distribute(
         r_values,
-        sizes_for(r_size, "R"),
+        sizes_for(r_size),
         tag=r_tag,
         shuffle_seed=derive_seed(seed, "place-R"),
     )
     s_part = distribute(
         s_values,
-        sizes_for(s_size, "S"),
+        sizes_for(s_size),
         tag=s_tag,
         shuffle_seed=derive_seed(seed, "place-S"),
+    )
+    return merge_distributions(r_part, s_part)
+
+
+def random_tuple_distribution(
+    tree: TreeTopology,
+    *,
+    r_size: int,
+    s_size: int,
+    key_space: int | None = None,
+    payload_bits: int = 20,
+    policy: str = "uniform",
+    seed: int = 0,
+    r_tag: str = "R",
+    s_tag: str = "S",
+) -> Distribution:
+    """Keyed-tuple workload for the multi-input tasks (join, group-by).
+
+    Both relations hold ``(key, payload)`` tuples packed by
+    :func:`repro.queries.tuples.encode_tuples`, with keys uniform in
+    ``[0, key_space)`` (default: ``max(r_size, s_size) // 2``, giving a
+    join selectivity of a few matches per key) and random payloads.
+    Placement policies are the same as :func:`random_distribution`.
+    """
+    # Imported here: repro.queries imports this module's placement
+    # helpers, so a top-level import would be circular.
+    from repro.queries.tuples import encode_tuples
+
+    if key_space is None:
+        key_space = max(1, max(r_size, s_size) // 2)
+    nodes = tree.left_to_right_compute_order()
+    rng = np.random.default_rng(derive_seed(seed, "tuple-pair"))
+    # Payload values stay small so per-key aggregates (sums of all of a
+    # key's payloads) still fit the payload width — the group-by
+    # protocols ship partial sums re-encoded at the same width.
+    payload_limit = min(1 << payload_bits, 1024)
+
+    def encoded(total: int) -> np.ndarray:
+        keys = rng.integers(0, key_space, size=total)
+        payloads = rng.integers(0, payload_limit, size=total)
+        return encode_tuples(keys, payloads, payload_bits=payload_bits)
+
+    r_part = distribute(
+        encoded(r_size), placement_sizes(tree, r_size, policy, nodes), tag=r_tag
+    )
+    s_part = distribute(
+        encoded(s_size), placement_sizes(tree, s_size, policy, nodes), tag=s_tag
     )
     return merge_distributions(r_part, s_part)
 

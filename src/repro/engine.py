@@ -30,6 +30,7 @@ from repro.core.sorting.lower_bound import sorting_lower_bound
 from repro.core.sorting.ordering import verify_sorted_output
 from repro.data.distribution import Distribution
 from repro.errors import AnalysisError, ProtocolError
+from repro.queries.aggregate import groupby_lower_bound
 from repro.queries.join import equijoin_lower_bound
 from repro.queries.tuples import DEFAULT_PAYLOAD_BITS, decode_tuples
 from repro.registry import (
@@ -128,7 +129,10 @@ def _verify_aggregate(
     tree: TreeTopology, distribution: Distribution, result: ProtocolResult
 ) -> None:
     """Every distinct input key must appear at exactly one node."""
-    keys, _ = decode_tuples(distribution.relation("R"))
+    payload_bits = result.meta.get("payload_bits", DEFAULT_PAYLOAD_BITS)
+    keys, _ = decode_tuples(
+        distribution.relation("R"), payload_bits=payload_bits
+    )
     expected = len(np.unique(keys))
     produced = sum(len(groups) for groups in result.outputs.values())
     if produced != expected:
@@ -163,13 +167,15 @@ register_task(
     default_protocol="tree",
     verifier=_verify_equijoin,
     lower_bound=equijoin_lower_bound,
+    lower_bound_opts=("r_tag", "s_tag"),
     aliases=("join",),
 )
 register_task(
     "groupby-aggregate",
     default_protocol="tree",
     verifier=_verify_aggregate,
-    lower_bound=None,
+    lower_bound=groupby_lower_bound,
+    lower_bound_opts=("tag", "payload_bits"),
     aliases=("aggregate", "groupby"),
 )
 
@@ -208,17 +214,50 @@ def run(
         Extra keyword arguments forwarded to the protocol unchanged
         (e.g. ``blocks=...`` for ablations, ``materialize=True``).
     """
+    report, _ = run_with_result(
+        task,
+        tree,
+        distribution,
+        protocol=protocol,
+        seed=seed,
+        placement=placement,
+        verify=verify,
+        **opts,
+    )
+    return report
+
+
+def run_with_result(
+    task: str,
+    tree: TreeTopology,
+    distribution: Distribution,
+    *,
+    protocol: str | None = None,
+    seed: int = 0,
+    placement: str = "custom",
+    verify: bool = True,
+    **opts,
+) -> tuple[RunReport, ProtocolResult]:
+    """Like :func:`run`, but also return the raw :class:`ProtocolResult`.
+
+    The report strips per-node outputs (it is a summary row); pipeline
+    consumers — the query-plan executor above all — need the outputs to
+    materialize the next stage's input, so this variant hands back both.
+    """
     task_spec = get_task(task)
     spec = get_protocol(task_spec.name, protocol or task_spec.default_protocol)
     result = spec.call(tree, distribution, seed=seed, **opts)
     if verify and task_spec.verifier is not None:
         task_spec.verifier(tree, distribution, result)
-    bound = (
-        task_spec.lower_bound(tree, distribution)
-        if task_spec.lower_bound is not None
-        else None
-    )
-    return RunReport(
+    bound = None
+    if task_spec.lower_bound is not None:
+        bound_opts = {
+            name: opts[name]
+            for name in task_spec.lower_bound_opts
+            if name in opts
+        }
+        bound = task_spec.lower_bound(tree, distribution, **bound_opts)
+    report = RunReport(
         task=task_spec.name,
         protocol=result.protocol,
         topology=tree.name,
@@ -232,6 +271,7 @@ def run(
             "bound": bound.description if bound is not None else "",
         },
     )
+    return report, result
 
 
 @dataclass
@@ -284,3 +324,42 @@ def run_many(
         return [plan.execute() for plan in normalized]
     with ThreadPoolExecutor(max_workers=workers) as pool:
         return list(pool.map(RunPlan.execute, normalized))
+
+
+def run_plan(
+    query,
+    tree: TreeTopology,
+    catalog: dict,
+    *,
+    strategy: str = "optimized",
+    seed: int = 0,
+    verify: bool = True,
+    keep_output: bool = False,
+):
+    """Compile and execute a logical query plan; report per-stage costs.
+
+    The multi-operator counterpart of :func:`run`: ``query`` is a
+    :mod:`repro.plan.logical` tree, ``catalog`` maps base relation
+    names to :class:`~repro.plan.relation.PlacedRelation` instances.
+    The optimizer picks a join order and a registered protocol per
+    stage (``strategy="optimized"``), or builds the gather-everything /
+    worst-order baseline plans; the executor then runs the pipeline on
+    one cluster, materializing every intermediate as a new
+    :class:`~repro.data.distribution.Distribution`.
+
+    Returns a :class:`~repro.report.PlanReport`; with
+    ``keep_output=True``, returns ``(report, output_relation)``.
+    """
+    # Imported lazily: the plan package builds on this module.
+    from repro.plan.executor import execute_plan
+    from repro.plan.optimizer import optimize
+
+    physical = optimize(query, tree, catalog, strategy=strategy)
+    return execute_plan(
+        physical,
+        tree,
+        catalog,
+        seed=seed,
+        verify=verify,
+        keep_output=keep_output,
+    )

@@ -51,3 +51,13 @@ class PackingError(ReproError):
 
 class AnalysisError(ReproError):
     """An experiment/report aggregation was asked for inconsistent data."""
+
+
+class PlanError(ReproError):
+    """A logical query plan is malformed or cannot be compiled.
+
+    Examples: a join condition referencing an unknown column, duplicate
+    output column names, a schema too wide for the 64-bit element
+    encoding, or a group-by whose key column exceeds the width the
+    shuffle encoding supports.
+    """

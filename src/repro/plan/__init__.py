@@ -1,0 +1,92 @@
+"""Topology-aware query planner: logical plans to protocol pipelines.
+
+The paper names relational query processing as the motivating
+application of the topology-aware cost model; this package is the layer
+that turns the registered protocols into an actual query system.  A
+query is a tree of logical operators (:mod:`repro.plan.logical`):
+scans, filters, multi-way equi-joins and group-by aggregations over
+named, multi-column relations (:mod:`repro.plan.relation`).  The
+optimizer (:mod:`repro.plan.optimizer`) picks a join order and, for
+every communication stage, a registered protocol — the paper's
+topology-aware tree algorithms or the uniform-hash / gather baselines —
+by scoring candidates with the cost estimator (:mod:`repro.plan.cost`),
+which combines the registry's lower bounds with topology statistics.
+The executor (:mod:`repro.plan.executor`) then runs the chosen physical
+plan stage by stage on one cluster, materializing every intermediate
+result as a new :class:`~repro.data.distribution.Distribution` and
+accumulating per-stage :class:`~repro.report.RunReport` rows into a
+:class:`~repro.report.PlanReport`.
+
+Quick start::
+
+    from repro.plan import Schema, chain_catalog, chain_query, optimize
+    from repro.plan.executor import execute_plan
+
+    catalog = chain_catalog(tree, num_relations=3, rows=2_000, seed=0)
+    query = chain_query(3)
+    physical = optimize(query, tree, catalog)
+    print(physical.explain())
+    report = execute_plan(physical, tree, catalog, seed=0)
+
+or, through the facade, ``repro.run_plan(query, tree, catalog)``.
+"""
+
+from repro.plan.logical import (
+    Filter,
+    GroupBy,
+    Join,
+    JoinCondition,
+    LogicalPlan,
+    Scan,
+    chain_query,
+    evaluate_reference,
+    star_query,
+)
+from repro.plan.relation import (
+    PlacedRelation,
+    Schema,
+    chain_catalog,
+    star_catalog,
+)
+from repro.plan.cost import (
+    CostModel,
+    RelationStats,
+    estimate_gather_cost,
+    estimate_tree_cost,
+    estimate_uniform_hash_cost,
+)
+from repro.plan.optimizer import (
+    PhysicalPlan,
+    PhysicalStage,
+    optimize,
+)
+from repro.plan.executor import execute_plan
+
+__all__ = [
+    # logical algebra
+    "LogicalPlan",
+    "Scan",
+    "Filter",
+    "Join",
+    "JoinCondition",
+    "GroupBy",
+    "chain_query",
+    "star_query",
+    "evaluate_reference",
+    # relations
+    "Schema",
+    "PlacedRelation",
+    "chain_catalog",
+    "star_catalog",
+    # cost model
+    "CostModel",
+    "RelationStats",
+    "estimate_tree_cost",
+    "estimate_uniform_hash_cost",
+    "estimate_gather_cost",
+    # optimizer + executor
+    "optimize",
+    "PhysicalPlan",
+    "PhysicalStage",
+    "execute_plan",
+]

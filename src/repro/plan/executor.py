@@ -1,0 +1,285 @@
+"""Run a compiled physical plan stage by stage on one cluster.
+
+Each communication stage is dispatched through the engine to a
+*registered* protocol — the executor never reimplements shuffles.  For
+a join stage it re-packs both input relations around the stage's join
+key (key high, remaining columns as the payload), builds a fresh
+:class:`~repro.data.distribution.Distribution` from the per-node
+fragments, and runs the chosen ``equijoin`` protocol with
+``materialize=True``; the materialized ``(key, left payload, right
+payload)`` rows are unpacked back into a
+:class:`~repro.plan.relation.PlacedRelation` *where the protocol left
+them* — intermediate data never teleports between stages, exactly as
+the model prices it.  Group-by stages ship ``(key, value)`` pairs
+through a registered ``groupby-aggregate`` protocol the same way;
+filters run locally and cost nothing, as computation does in the model.
+
+Every stage contributes one :class:`~repro.report.RunReport` (cost,
+rounds, the task's per-stage lower bound); the whole pipeline becomes a
+:class:`~repro.report.PlanReport`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.distribution import Distribution
+from repro.engine import run_with_result
+from repro.errors import PlanError
+from repro.plan.optimizer import AGGREGATE_BITS, PhysicalPlan, PhysicalStage
+from repro.plan.relation import PlacedRelation, Schema
+from repro.queries.tuples import encode_tuples
+from repro.report import PlanReport, RunReport
+from repro.topology.tree import TreeTopology, node_sort_key
+from repro.util.seeding import derive_seed
+
+
+def _empty_stage_report(
+    stage: PhysicalStage, index: int, tree: TreeTopology, task: str
+) -> RunReport:
+    """A zero-cost row for a stage skipped because an input was empty."""
+    return RunReport(
+        task=task,
+        protocol=stage.protocol or "local",
+        topology=tree.name,
+        placement=f"stage {index}",
+        input_size=0,
+        rounds=0,
+        cost=0.0,
+        lower_bound=0.0,
+        meta={"skipped": "empty input"},
+    )
+
+
+def _execute_join(
+    stage: PhysicalStage,
+    index: int,
+    tree: TreeTopology,
+    left: PlacedRelation,
+    right: PlacedRelation,
+    *,
+    seed: int,
+    verify: bool,
+) -> tuple[RunReport | None, PlacedRelation]:
+    out_schema = stage.schema
+    if left.total_rows == 0 or right.total_rows == 0:
+        return None, PlacedRelation(out_schema, {})
+
+    left_payload_schema = left.schema.drop(stage.left_column)
+    right_payload_schema = right.schema.drop(stage.right_column)
+    shared_bits = max(
+        left_payload_schema.total_bits, right_payload_schema.total_bits
+    )
+    left_encoded, _, _ = left.key_payload(
+        stage.left_column, payload_bits=shared_bits
+    )
+    right_encoded, _, _ = right.key_payload(
+        stage.right_column, payload_bits=shared_bits
+    )
+    placements: dict = {}
+    for node in tree.compute_nodes:
+        fragments = {}
+        if node in left_encoded and len(left_encoded[node]):
+            fragments["R"] = left_encoded[node]
+        if node in right_encoded and len(right_encoded[node]):
+            fragments["S"] = right_encoded[node]
+        if fragments:
+            placements[node] = fragments
+    report, result = run_with_result(
+        "equijoin",
+        tree,
+        Distribution(placements),
+        protocol=stage.protocol,
+        seed=derive_seed(seed, "plan-stage", index),
+        placement=f"stage {index}",
+        verify=verify,
+        payload_bits=shared_bits,
+        materialize=True,
+    )
+
+    fragments = {}
+    for node, output in result.outputs.items():
+        pairs = output.get("pairs")
+        if pairs is None or not len(pairs):
+            continue
+        left_columns = dict(
+            zip(
+                left_payload_schema.columns,
+                left_payload_schema.unpack(pairs[:, 1]).T,
+            )
+        )
+        right_columns = dict(
+            zip(
+                right_payload_schema.columns,
+                right_payload_schema.unpack(pairs[:, 2]).T,
+            )
+        )
+        keys = pairs[:, 0]
+        keep = np.ones(len(pairs), dtype=bool)
+        for left_name, right_name in stage.residual:
+            # A residual condition may reuse the stage's join-key column
+            # (e.g. A.a = B.b and A.a = B.c): that column was dropped
+            # from the payload, but its values are exactly `keys`.
+            left_values = (
+                keys
+                if left_name == stage.left_column
+                else left_columns[left_name]
+            )
+            right_values = (
+                keys
+                if right_name == stage.right_column
+                else right_columns[right_name]
+            )
+            keep &= left_values == right_values
+        named = {stage.left_column: keys, **left_columns}
+        for name, values in right_columns.items():
+            if name not in {b for _, b in stage.residual}:
+                named[name] = values
+        rows = np.stack(
+            [named[c][keep] for c in out_schema.columns], axis=1
+        )
+        if len(rows):
+            fragments[node] = rows
+    return report, PlacedRelation(out_schema, fragments)
+
+
+def _execute_groupby(
+    stage: PhysicalStage,
+    index: int,
+    tree: TreeTopology,
+    child: PlacedRelation,
+    *,
+    seed: int,
+    verify: bool,
+) -> tuple[RunReport | None, PlacedRelation]:
+    out_schema = stage.schema
+    if child.total_rows == 0:
+        return None, PlacedRelation(out_schema, {})
+    key_index = child.schema.index(stage.key)
+    value_index = child.schema.index(stage.agg_value)
+    placements: dict = {}
+    for node in sorted(child.nodes, key=node_sort_key):
+        rows = child.fragment(node)
+        if not len(rows):
+            continue
+        placements[node] = {
+            "R": encode_tuples(
+                rows[:, key_index],
+                rows[:, value_index],
+                payload_bits=AGGREGATE_BITS,
+            )
+        }
+    report, result = run_with_result(
+        "groupby-aggregate",
+        tree,
+        Distribution(placements),
+        protocol=stage.protocol,
+        seed=derive_seed(seed, "plan-stage", index),
+        placement=f"stage {index}",
+        verify=verify,
+        op=stage.op,
+        payload_bits=AGGREGATE_BITS,
+    )
+    fragments = {}
+    for node, groups in result.outputs.items():
+        if not groups:
+            continue
+        fragments[node] = np.array(
+            sorted(groups.items()), dtype=np.int64
+        ).reshape(-1, 2)
+    return report, PlacedRelation(out_schema, fragments)
+
+
+def execute_plan(
+    physical: PhysicalPlan,
+    tree: TreeTopology,
+    catalog: dict,
+    *,
+    seed: int = 0,
+    verify: bool = True,
+    keep_output: bool = False,
+):
+    """Execute ``physical`` on ``tree``; returns a :class:`PlanReport`.
+
+    ``catalog`` must hold the base relations the plan scans.  With
+    ``keep_output=True`` the final :class:`PlacedRelation` is returned
+    alongside the report (for output inspection and the property
+    tests' multiset comparison).
+    """
+    results: list[PlacedRelation] = []
+    stage_reports: list[RunReport] = []
+    for index, stage in enumerate(physical.stages):
+        if stage.kind == "scan":
+            relation = catalog.get(stage.relation)
+            if relation is None:
+                raise PlanError(
+                    f"catalog has no relation {stage.relation!r}"
+                )
+            if tuple(relation.schema.columns) != stage.output_columns:
+                raise PlanError(
+                    f"catalog relation {stage.relation!r} no longer matches "
+                    "the compiled schema; re-run the optimizer"
+                )
+            results.append(relation)
+            continue
+        if stage.kind == "filter":
+            child = results[stage.inputs[0]]
+            results.append(child.filter(stage.column, stage.op, stage.value))
+            continue
+        if stage.kind == "join":
+            report, produced = _execute_join(
+                stage,
+                index,
+                tree,
+                results[stage.inputs[0]],
+                results[stage.inputs[1]],
+                seed=seed,
+                verify=verify,
+            )
+            if report is None:
+                report = _empty_stage_report(stage, index, tree, "equijoin")
+            stage_reports.append(report)
+            results.append(produced)
+            continue
+        if stage.kind == "groupby":
+            report, produced = _execute_groupby(
+                stage,
+                index,
+                tree,
+                results[stage.inputs[0]],
+                seed=seed,
+                verify=verify,
+            )
+            if report is None:
+                report = _empty_stage_report(
+                    stage, index, tree, "groupby-aggregate"
+                )
+            stage_reports.append(report)
+            results.append(produced)
+            continue
+        raise PlanError(f"unknown stage kind {stage.kind!r}")
+
+    output = results[physical.output]
+    report = PlanReport(
+        query=physical.query,
+        strategy=physical.strategy,
+        topology=physical.topology,
+        stages=tuple(stage_reports),
+        estimated_cost=physical.estimated_cost,
+        output_rows=output.total_rows,
+        meta={
+            "stages": [
+                {
+                    "stage": i,
+                    "operator": s.describe(),
+                    "protocol": s.protocol or "local",
+                    "est_rows": s.est_rows,
+                    "est_cost": s.est_cost,
+                }
+                for i, s in enumerate(physical.stages)
+            ],
+        },
+    )
+    if keep_output:
+        return report, output
+    return report

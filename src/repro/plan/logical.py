@@ -1,0 +1,333 @@
+"""The logical operator algebra: what a query asks, not how it runs.
+
+A logical plan is an immutable tree of four operators over named,
+multi-column relations:
+
+* :class:`Scan` — read a base relation from the catalog;
+* :class:`Filter` — keep rows satisfying ``column <op> value`` (free in
+  the cost model: filtering is local computation);
+* :class:`Join` — an *n*-ary equi-join with explicit pairwise
+  conditions, the optimizer's playground (it picks the order and a
+  protocol per binary stage);
+* :class:`GroupBy` — aggregate one value column per key column.
+
+The algebra deliberately carries no physical detail — no protocols, no
+orders, no placements.  :func:`evaluate_reference` gives the plan's
+meaning as a plain single-machine computation, which the property tests
+hold the distributed executor to.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import PlanError
+
+_FILTER_OPS = ("==", "!=", "<", "<=", ">", ">=")
+_GROUP_OPS = ("sum", "count", "min", "max")
+
+
+@dataclass(frozen=True)
+class Scan:
+    """Read base relation ``relation`` from the catalog."""
+
+    relation: str
+
+    def describe(self) -> str:
+        return f"scan({self.relation})"
+
+
+@dataclass(frozen=True)
+class Filter:
+    """Keep the rows of ``child`` where ``column <op> value``."""
+
+    child: "LogicalPlan"
+    column: str
+    op: str
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.op not in _FILTER_OPS:
+            raise PlanError(
+                f"unknown filter operator {self.op!r}; "
+                f"choose from {list(_FILTER_OPS)}"
+            )
+
+    def describe(self) -> str:
+        return (
+            f"filter({self.child.describe()}, "
+            f"{self.column} {self.op} {self.value})"
+        )
+
+
+@dataclass(frozen=True)
+class JoinCondition:
+    """Equality between one column of two join inputs (by input index)."""
+
+    left_input: int
+    left_column: str
+    right_input: int
+    right_column: str
+
+    def __post_init__(self) -> None:
+        if self.left_input == self.right_input:
+            raise PlanError(
+                "a join condition must connect two distinct inputs"
+            )
+
+
+@dataclass(frozen=True)
+class Join:
+    """*n*-ary equi-join of ``inputs`` under pairwise ``conditions``."""
+
+    inputs: tuple
+    conditions: tuple
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "inputs", tuple(self.inputs))
+        object.__setattr__(self, "conditions", tuple(self.conditions))
+        if len(self.inputs) < 2:
+            raise PlanError("a join needs at least two inputs")
+        if not self.conditions:
+            raise PlanError(
+                "a join needs at least one equality condition "
+                "(cartesian products run via the cartesian-product task)"
+            )
+        for cond in self.conditions:
+            for side in (cond.left_input, cond.right_input):
+                if not 0 <= side < len(self.inputs):
+                    raise PlanError(
+                        f"join condition references input {side} but there "
+                        f"are only {len(self.inputs)} inputs"
+                    )
+
+    def describe(self) -> str:
+        parts = ", ".join(child.describe() for child in self.inputs)
+        conds = ", ".join(
+            f"{c.left_input}.{c.left_column}={c.right_input}.{c.right_column}"
+            for c in self.conditions
+        )
+        return f"join([{parts}] on {conds})"
+
+
+@dataclass(frozen=True)
+class GroupBy:
+    """Aggregate ``value`` per distinct ``key`` of ``child`` with ``op``."""
+
+    child: "LogicalPlan"
+    key: str
+    value: str
+    op: str = "sum"
+
+    def __post_init__(self) -> None:
+        if self.op not in _GROUP_OPS:
+            raise PlanError(
+                f"unknown aggregate {self.op!r}; choose from {list(_GROUP_OPS)}"
+            )
+        if self.key == self.value:
+            raise PlanError("group-by key and value must differ")
+
+    def describe(self) -> str:
+        return (
+            f"groupby({self.child.describe()}, key={self.key}, "
+            f"{self.op}({self.value}))"
+        )
+
+
+LogicalPlan = Scan | Filter | Join | GroupBy
+
+
+# --------------------------------------------------------------------- #
+# query builders for the standard benchmark shapes
+# --------------------------------------------------------------------- #
+
+
+def chain_query(num_relations: int = 3) -> Join:
+    """``R0(x0,x1) ⋈ R1(x1,x2) ⋈ ... `` — the chain join over a
+    :func:`~repro.plan.relation.chain_catalog`."""
+    if num_relations < 2:
+        raise PlanError("a chain query needs at least two relations")
+    return Join(
+        inputs=tuple(Scan(f"R{i}") for i in range(num_relations)),
+        conditions=tuple(
+            JoinCondition(i, f"x{i + 1}", i + 1, f"x{i + 1}")
+            for i in range(num_relations - 1)
+        ),
+    )
+
+
+def star_query(num_satellites: int = 2) -> Join:
+    """``F ⋈ D1 ⋈ D2 ⋈ ...`` on the shared key ``k`` — the star join
+    over a :func:`~repro.plan.relation.star_catalog`."""
+    if num_satellites < 1:
+        raise PlanError("a star query needs at least one satellite")
+    return Join(
+        inputs=(Scan("F"),)
+        + tuple(Scan(f"D{i}") for i in range(1, num_satellites + 1)),
+        conditions=tuple(
+            JoinCondition(0, "k", i, "k")
+            for i in range(1, num_satellites + 1)
+        ),
+    )
+
+
+# --------------------------------------------------------------------- #
+# reference semantics (single machine, no cost model)
+# --------------------------------------------------------------------- #
+
+
+def _reference_table(
+    plan: LogicalPlan, catalog: Mapping
+) -> tuple[list, np.ndarray]:
+    """Evaluate ``plan`` naively; returns ``(columns, rows)``."""
+    if isinstance(plan, Scan):
+        relation = catalog.get(plan.relation)
+        if relation is None:
+            raise PlanError(
+                f"catalog has no relation {plan.relation!r}; "
+                f"it holds {sorted(map(str, catalog))}"
+            )
+        return list(relation.schema.columns), relation.rows()
+    if isinstance(plan, Filter):
+        columns, rows = _reference_table(plan.child, catalog)
+        if plan.column not in columns:
+            raise PlanError(f"filter on unknown column {plan.column!r}")
+        index = columns.index(plan.column)
+        ops = {
+            "==": np.equal, "!=": np.not_equal, "<": np.less,
+            "<=": np.less_equal, ">": np.greater, ">=": np.greater_equal,
+        }
+        mask = ops[plan.op](rows[:, index], np.int64(plan.value))
+        return columns, rows[mask]
+    if isinstance(plan, GroupBy):
+        columns, rows = _reference_table(plan.child, catalog)
+        for name in (plan.key, plan.value):
+            if name not in columns:
+                raise PlanError(f"group-by on unknown column {name!r}")
+        key_index = columns.index(plan.key)
+        value_index = columns.index(plan.value)
+        groups: dict = {}
+        for key, value in zip(
+            rows[:, key_index].tolist(), rows[:, value_index].tolist()
+        ):
+            if plan.op == "count":
+                groups[key] = groups.get(key, 0) + 1
+            elif plan.op == "sum":
+                groups[key] = groups.get(key, 0) + value
+            elif plan.op == "min":
+                groups[key] = min(groups.get(key, value), value)
+            else:
+                groups[key] = max(groups.get(key, value), value)
+        out = np.array(
+            sorted(groups.items()), dtype=np.int64
+        ).reshape(-1, 2)
+        return [plan.key, f"{plan.op}_{plan.value}"], out
+    if isinstance(plan, Join):
+        tables = [
+            _reference_table(child, catalog) for child in plan.inputs
+        ]
+        merged_columns, merged_rows = tables[0]
+        merged_inputs = {0}
+        remaining = set(range(1, len(plan.inputs)))
+        conditions = list(plan.conditions)
+        while remaining:
+            # Prefer an input connected to the merged set; fall back to
+            # any remaining input (the Join constructor guarantees at
+            # least one condition overall, and validation below catches
+            # conditions that never become applicable).
+            chosen = None
+            for cond in conditions:
+                sides = {cond.left_input, cond.right_input}
+                inside, outside = sides & merged_inputs, sides & remaining
+                if inside and outside:
+                    chosen = outside.pop()
+                    break
+            if chosen is None:
+                raise PlanError(
+                    "join inputs are not connected by the conditions"
+                )
+            columns, rows = tables[chosen]
+            merged_columns, merged_rows = _nested_loop_join(
+                merged_columns,
+                merged_rows,
+                columns,
+                rows,
+                _applicable(conditions, merged_inputs, chosen, plan),
+            )
+            merged_inputs.add(chosen)
+            remaining.discard(chosen)
+        return merged_columns, merged_rows
+    raise PlanError(f"unknown logical operator {plan!r}")
+
+
+def _applicable(conditions, merged_inputs, new_input, plan) -> list:
+    """Conditions joining the merged inputs to ``new_input`` as
+    ``(merged_column, new_column)`` name pairs."""
+    pairs = []
+    for cond in conditions:
+        sides = {cond.left_input: cond.left_column,
+                 cond.right_input: cond.right_column}
+        if new_input in sides and (set(sides) - {new_input}) <= merged_inputs:
+            new_column = sides.pop(new_input)
+            merged_column = next(iter(sides.values()))
+            pairs.append((merged_column, new_column))
+    return pairs
+
+
+def _nested_loop_join(
+    left_columns: list,
+    left_rows: np.ndarray,
+    right_columns: list,
+    right_rows: np.ndarray,
+    on: list,
+) -> tuple[list, np.ndarray]:
+    """Hash join of two in-memory tables on column-name pairs."""
+    if not on:
+        raise PlanError("join stage without an applicable condition")
+    left_keys = [left_columns.index(a) for a, _ in on]
+    right_keys = [right_columns.index(b) for _, b in on]
+    keep_right = [
+        i for i in range(len(right_columns)) if i not in right_keys
+    ]
+    overlap = set(left_columns) & {right_columns[i] for i in keep_right}
+    if overlap:
+        raise PlanError(
+            f"join would duplicate output columns {sorted(overlap)}"
+        )
+    table: dict = {}
+    for i, row in enumerate(right_rows):
+        table.setdefault(tuple(row[right_keys].tolist()), []).append(i)
+    matches_left: list = []
+    matches_right: list = []
+    for i, row in enumerate(left_rows):
+        for j in table.get(tuple(row[left_keys].tolist()), ()):
+            matches_left.append(i)
+            matches_right.append(j)
+    columns = list(left_columns) + [right_columns[i] for i in keep_right]
+    if not matches_left:
+        return columns, np.empty((0, len(columns)), dtype=np.int64)
+    out = np.concatenate(
+        [
+            left_rows[matches_left],
+            right_rows[np.asarray(matches_right)][:, keep_right],
+        ],
+        axis=1,
+    )
+    return columns, out
+
+
+def evaluate_reference(plan: LogicalPlan, catalog: Mapping) -> Counter:
+    """The plan's meaning: its output row multiset, columns sorted by name.
+
+    Computed naively on one machine.  The distributed executor must
+    produce exactly this multiset (compare with
+    ``PlacedRelation.multiset()``), whatever join order and protocols
+    the optimizer chose.
+    """
+    columns, rows = _reference_table(plan, catalog)
+    order = sorted(range(len(columns)), key=lambda i: columns[i])
+    return Counter(map(tuple, rows[:, order].tolist()))

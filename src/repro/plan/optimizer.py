@@ -1,0 +1,616 @@
+"""Compile a logical plan into a physical protocol pipeline.
+
+The optimizer makes the two decisions the logical algebra leaves open:
+
+* **join order** — multi-way joins are flattened into their leaf inputs
+  and every connected left-deep order is enumerated (chain and star
+  queries have few inputs, so exhaustive enumeration is exact); each
+  candidate order is scored by the estimated cost of its shuffle stages
+  under the cardinality model of :mod:`repro.plan.cost`;
+* **protocol per stage** — for every join and group-by stage, each
+  protocol registered for the task (the paper's topology-aware ``tree``
+  algorithms, the ``uniform-hash`` MPC baseline, the ``gather``
+  baseline) is scored on the estimated placement profile of the stage's
+  inputs, and the cheapest wins.
+
+Three strategies share this machinery: ``optimized`` (min-cost order,
+min-cost protocols), ``gather`` (the order as written, every stage the
+gather baseline — the "ship everything to one node" plan), and
+``worst-order`` (the max-cost order with min-cost protocols — isolating
+what join ordering alone is worth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import permutations
+
+from repro.errors import PlanError
+from repro.plan.cost import (
+    CostModel,
+    RelationStats,
+    filter_stats,
+    groupby_stats,
+    join_stats,
+    stats_of,
+)
+from repro.plan.logical import Filter, GroupBy, Join, LogicalPlan, Scan
+from repro.plan.relation import MAX_PAYLOAD_BITS, MAX_ROW_BITS, Schema
+from repro.registry import protocols_for
+from repro.topology.tree import TreeTopology
+from repro.util.text import render_table
+
+STRATEGIES = ("optimized", "gather", "worst-order")
+
+# Exhaustive left-deep enumeration is exact but factorial; the planner
+# targets the paper's chain/star benchmark queries, not 20-way joins.
+MAX_JOIN_INPUTS = 8
+
+# Beam width for per-order protocol-sequence search; 81 = 3^4 keeps the
+# search exhaustive up to four shuffle stages (five-way joins).
+PROTOCOL_BEAM = 81
+
+AGGREGATE_BITS = 40
+
+
+@dataclass(frozen=True)
+class PhysicalStage:
+    """One step of the compiled pipeline.
+
+    ``kind`` is ``"scan"``, ``"filter"``, ``"join"`` or ``"groupby"``;
+    ``inputs`` are indices of earlier stages, and the stage's own index
+    in :attr:`PhysicalPlan.stages` names its output.  ``est_rows`` and
+    ``est_cost`` are the optimizer's predictions, kept so ``--explain``
+    and the reports can show estimated against measured cost.
+    """
+
+    kind: str
+    output_columns: tuple
+    output_bits: tuple
+    inputs: tuple = ()
+    relation: str | None = None
+    column: str | None = None
+    op: str | None = None
+    value: int | None = None
+    left_column: str | None = None
+    right_column: str | None = None
+    residual: tuple = ()
+    key: str | None = None
+    agg_value: str | None = None
+    protocol: str | None = None
+    est_rows: float = 0.0
+    est_cost: float = 0.0
+
+    @property
+    def schema(self) -> Schema:
+        return Schema(self.output_columns, self.output_bits)
+
+    def describe(self) -> str:
+        if self.kind == "scan":
+            return f"scan {self.relation}"
+        if self.kind == "filter":
+            return (
+                f"filter #{self.inputs[0]} "
+                f"({self.column} {self.op} {self.value})"
+            )
+        if self.kind == "join":
+            residual = "".join(
+                f", {a}={b}" for a, b in self.residual
+            )
+            return (
+                f"join #{self.inputs[0]} ⋈ #{self.inputs[1]} on "
+                f"{self.left_column}={self.right_column}{residual}"
+            )
+        return (
+            f"groupby #{self.inputs[0]} key={self.key} "
+            f"{self.op}({self.agg_value})"
+        )
+
+
+@dataclass(frozen=True)
+class PhysicalPlan:
+    """The compiled pipeline plus the optimizer's cost predictions."""
+
+    query: str
+    strategy: str
+    topology: str
+    stages: tuple
+    output: int
+    estimated_cost: float
+
+    @property
+    def output_schema(self) -> Schema:
+        return self.stages[self.output].schema
+
+    def shuffle_stages(self) -> list:
+        """Indices of stages that actually communicate."""
+        return [
+            i
+            for i, stage in enumerate(self.stages)
+            if stage.kind in ("join", "groupby")
+        ]
+
+    def explain(self) -> str:
+        """A human-readable physical plan, one row per stage."""
+        rows = []
+        for i, stage in enumerate(self.stages):
+            rows.append(
+                [
+                    f"#{i}",
+                    stage.describe(),
+                    stage.protocol or "local",
+                    f"{stage.est_rows:.0f}",
+                    f"{stage.est_cost:.1f}",
+                ]
+            )
+        return render_table(
+            ["stage", "operator", "protocol", "est rows", "est cost"],
+            rows,
+            title=(
+                f"{self.strategy} plan for {self.query} on {self.topology} "
+                f"(estimated cost {self.estimated_cost:.1f})"
+            ),
+        )
+
+
+# --------------------------------------------------------------------- #
+# join flattening
+# --------------------------------------------------------------------- #
+
+
+def _flatten_join(join: Join) -> tuple[list, list]:
+    """Expand directly nested joins into leaves + leaf-indexed conditions."""
+    leaves: list = []
+    conditions: list = []
+
+    def expand(node: Join) -> list:
+        spans = []
+        for child in node.inputs:
+            if isinstance(child, Join):
+                spans.append(expand(child))
+            else:
+                leaves.append(child)
+                spans.append([len(leaves) - 1])
+        for cond in node.conditions:
+            left_span = spans[cond.left_input]
+            right_span = spans[cond.right_input]
+            conditions.append(
+                (left_span[0], cond.left_column, right_span[0], cond.right_column)
+            )
+        return [i for span in spans for i in span]
+
+    expand(join)
+    return leaves, conditions
+
+
+# --------------------------------------------------------------------- #
+# the compiler
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class _Candidate:
+    """One simulated merge order: its stages-to-be and total cost."""
+
+    order: tuple
+    steps: list
+    cost: float
+
+
+class _Compiler:
+    def __init__(
+        self,
+        tree: TreeTopology,
+        catalog: dict,
+        strategy: str,
+    ) -> None:
+        if strategy not in STRATEGIES:
+            raise PlanError(
+                f"unknown strategy {strategy!r}; choose from {list(STRATEGIES)}"
+            )
+        self.tree = tree
+        self.catalog = catalog
+        self.strategy = strategy
+        self.model = CostModel(tree)
+        self.stages: list = []
+        self.join_protocols = self._candidates("equijoin", "join")
+        self.groupby_protocols = self._candidates("groupby-aggregate", "groupby")
+
+    def _candidates(self, task: str, operator: str) -> tuple:
+        registered = set(protocols_for(task))
+        supported = self.model.supported_protocols(operator)
+        names = tuple(n for n in supported if n in registered)
+        if not names:
+            raise PlanError(
+                f"no registered {task} protocol has a cost estimator"
+            )
+        return names
+
+    def _emit(self, stage: PhysicalStage) -> int:
+        self.stages.append(stage)
+        return len(self.stages) - 1
+
+    # -------------------------------------------------------------- #
+    # node compilation
+    # -------------------------------------------------------------- #
+
+    def compile(self, plan: LogicalPlan) -> tuple[int, RelationStats, Schema]:
+        if isinstance(plan, Scan):
+            return self._compile_scan(plan)
+        if isinstance(plan, Filter):
+            return self._compile_filter(plan)
+        if isinstance(plan, GroupBy):
+            return self._compile_groupby(plan)
+        if isinstance(plan, Join):
+            return self._compile_join(plan)
+        raise PlanError(f"unknown logical operator {plan!r}")
+
+    def _compile_scan(self, plan: Scan) -> tuple[int, RelationStats, Schema]:
+        relation = self.catalog.get(plan.relation)
+        if relation is None:
+            raise PlanError(
+                f"catalog has no relation {plan.relation!r}; "
+                f"it holds {sorted(map(str, self.catalog))}"
+            )
+        stats = stats_of(relation)
+        schema = relation.schema
+        index = self._emit(
+            PhysicalStage(
+                kind="scan",
+                relation=plan.relation,
+                output_columns=schema.columns,
+                output_bits=schema.bits,
+                est_rows=stats.rows,
+            )
+        )
+        return index, stats, schema
+
+    def _compile_filter(self, plan: Filter) -> tuple[int, RelationStats, Schema]:
+        child, child_stats, schema = self.compile(plan.child)
+        schema.index(plan.column)  # validates the column exists
+        stats = filter_stats(child_stats, plan.column, plan.op)
+        index = self._emit(
+            PhysicalStage(
+                kind="filter",
+                inputs=(child,),
+                column=plan.column,
+                op=plan.op,
+                value=int(plan.value),
+                output_columns=schema.columns,
+                output_bits=schema.bits,
+                est_rows=stats.rows,
+            )
+        )
+        return index, stats, schema
+
+    def _compile_groupby(self, plan: GroupBy) -> tuple[int, RelationStats, Schema]:
+        child, child_stats, schema = self.compile(plan.child)
+        key_bits = schema.width(plan.key)
+        schema.index(plan.value)
+        if key_bits > MAX_ROW_BITS - MAX_PAYLOAD_BITS:
+            raise PlanError(
+                f"group-by key {plan.key!r} is {key_bits} bits wide; the "
+                f"shuffle encoding supports at most "
+                f"{MAX_ROW_BITS - MAX_PAYLOAD_BITS} key bits"
+            )
+        groups = groupby_stats(child_stats, plan.key).rows
+        protocol, cost, profile = self._pick_groupby_protocol(
+            child_stats, groups
+        )
+        agg_bits = (
+            schema.width(plan.value)
+            if plan.op in ("min", "max")
+            else AGGREGATE_BITS
+        )
+        columns = (plan.key, f"{plan.op}_{plan.value}")
+        bits = (key_bits, agg_bits)
+        stats = RelationStats(
+            rows=groups, distinct={plan.key: groups}, profile=profile
+        )
+        index = self._emit(
+            PhysicalStage(
+                kind="groupby",
+                inputs=(child,),
+                key=plan.key,
+                agg_value=plan.value,
+                op=plan.op,
+                protocol=protocol,
+                output_columns=columns,
+                output_bits=bits,
+                est_rows=groups,
+                est_cost=cost,
+            )
+        )
+        return index, stats, Schema(columns, bits)
+
+    def _pick_groupby_protocol(
+        self, child_stats: RelationStats, groups: float
+    ) -> tuple[str, float, dict]:
+        if self.strategy == "gather":
+            cost, profile = self.model.groupby_stage(
+                child_stats, groups, "gather"
+            )
+            return "gather", cost, profile
+        best = None
+        for name in self.groupby_protocols:
+            cost, profile = self.model.groupby_stage(
+                child_stats, groups, name
+            )
+            if best is None or cost < best[1]:
+                best = (name, cost, profile)
+        return best
+
+    # -------------------------------------------------------------- #
+    # joins
+    # -------------------------------------------------------------- #
+
+    def _compile_join(self, plan: Join) -> tuple[int, RelationStats, Schema]:
+        leaves, conditions = _flatten_join(plan)
+        if len(leaves) > MAX_JOIN_INPUTS:
+            raise PlanError(
+                f"join has {len(leaves)} inputs; exhaustive ordering "
+                f"supports at most {MAX_JOIN_INPUTS}"
+            )
+        compiled = [self.compile(leaf) for leaf in leaves]
+        # Conditions that name a nested-join span refer to whichever of
+        # its leaves holds the column; resolve by schema lookup.
+        resolved = []
+        for li, lcol, ri, rcol in conditions:
+            resolved.append(
+                (
+                    self._owning_leaf(compiled, leaves, li, lcol),
+                    lcol,
+                    self._owning_leaf(compiled, leaves, ri, rcol),
+                    rcol,
+                )
+            )
+        candidate = self._choose_order(compiled, resolved)
+        return self._emit_join_steps(compiled, candidate)
+
+    def _owning_leaf(self, compiled, leaves, start: int, column: str) -> int:
+        _, _, schema = compiled[start]
+        if column in schema.columns:
+            return start
+        for i, (_, _, other) in enumerate(compiled):
+            if column in other.columns:
+                return i
+        raise PlanError(f"no join input has column {column!r}")
+
+    def _choose_order(self, compiled, conditions) -> _Candidate:
+        k = len(compiled)
+        written = tuple(range(k))
+        if self.strategy == "gather":
+            candidate = self._simulate(compiled, conditions, written)
+            if candidate is not None:
+                return candidate
+        best: _Candidate | None = None
+        seen_any = False
+        for order in permutations(range(k)):
+            candidate = self._simulate(compiled, conditions, order)
+            if candidate is None:
+                continue
+            seen_any = True
+            if best is None:
+                best = candidate
+            elif self.strategy == "worst-order":
+                if candidate.cost > best.cost:
+                    best = candidate
+            elif candidate.cost < best.cost:
+                best = candidate
+        if not seen_any:
+            raise PlanError(
+                "join inputs are not connected by the conditions; "
+                "cross products are not supported"
+            )
+        return best
+
+    def _simulate(self, compiled, conditions, order) -> _Candidate | None:
+        """Score one merge order; ``None`` if some step lacks a condition.
+
+        Phase one walks the merges and derives everything that does not
+        depend on protocol choice: stage key pairs, residual equalities,
+        output columns and cardinality estimates.  Phase two assigns a
+        protocol to every stage by searching protocol *sequences* — a
+        gather stage leaves all data on one node and makes every later
+        stage nearly free, which no greedy per-stage choice can see.
+        """
+        steps = self._merge_walk(compiled, conditions, order)
+        if steps is None:
+            return None
+        return self._assign_protocols(compiled, order, steps)
+
+    def _merge_walk(self, compiled, conditions, order) -> list | None:
+        first = order[0]
+        merged = {first}
+        stats = compiled[first][1]
+        columns = list(compiled[first][2].columns)
+        bits = list(compiled[first][2].bits)
+        # Maps (leaf, original column) -> current column name, tracking
+        # join-key merges so later conditions survive dropped columns.
+        names = {
+            (i, c): c for i, (_, _, schema) in enumerate(compiled)
+            for c in schema.columns
+        }
+        steps = []
+        for new in order[1:]:
+            pairs = []
+            for li, lcol, ri, rcol in conditions:
+                if li in merged and ri == new:
+                    pairs.append((names[(li, lcol)], rcol))
+                elif ri in merged and li == new:
+                    pairs.append((names[(ri, rcol)], lcol))
+            if not pairs:
+                return None
+            new_stats = compiled[new][1]
+            new_schema = compiled[new][2]
+            key_left, key_right = pairs[0]
+            out = join_stats(stats, new_stats, pairs, [])
+            dropped = {b for _, b in pairs}
+            out_columns = [key_left] + [c for c in columns if c != key_left]
+            out_bits = [
+                max(
+                    bits[columns.index(key_left)],
+                    new_schema.width(key_right),
+                )
+            ] + [bits[columns.index(c)] for c in columns if c != key_left]
+            for c in new_schema.columns:
+                if c in dropped:
+                    continue
+                if c in out_columns:
+                    return None  # name collision under this order
+                out_columns.append(c)
+                out_bits.append(new_schema.width(c))
+            for a, b in pairs:
+                names[(new, b)] = a
+            distinct = dict(out.distinct)
+            for c in out_columns:
+                if c not in distinct:
+                    source = (
+                        stats.distinct.get(c)
+                        if c in columns
+                        else new_stats.distinct.get(c)
+                    )
+                    distinct[c] = min(
+                        float(source if source is not None else out.rows),
+                        max(out.rows, 1.0),
+                    )
+            stats = RelationStats(
+                rows=out.rows, distinct=distinct, profile={}
+            )
+            steps.append(
+                {
+                    "new": new,
+                    "left_column": key_left,
+                    "right_column": key_right,
+                    "residual": tuple(pairs[1:]),
+                    "columns": tuple(out_columns),
+                    "bits": tuple(out_bits),
+                    "stats": stats,
+                }
+            )
+            merged.add(new)
+            columns, bits = out_columns, out_bits
+        return steps
+
+    def _assign_protocols(self, compiled, order, steps) -> _Candidate:
+        """Pick each stage's protocol by beam search over sequences.
+
+        States carry the cost so far and the current placement profile
+        (each protocol leaves the data somewhere different).  A beam of
+        :data:`PROTOCOL_BEAM` keeps the search exhaustive for every
+        sequence length the benchmark queries reach (``3^m`` states fit
+        the beam for ``m <= 4`` stages) and near-optimal beyond.
+        """
+        first_stats = compiled[order[0]][1]
+        protocols = (
+            ("gather",) if self.strategy == "gather" else self.join_protocols
+        )
+        states = [(0.0, first_stats, [])]
+        for step in steps:
+            right_stats = compiled[step["new"]][1]
+            out_stats = step["stats"]
+            expanded = []
+            for total, left_stats, chosen in states:
+                for name in protocols:
+                    cost, profile = self.model.join_stage(
+                        left_stats, right_stats, name, out_stats.rows
+                    )
+                    expanded.append(
+                        (
+                            total + cost,
+                            RelationStats(
+                                rows=out_stats.rows,
+                                distinct=out_stats.distinct,
+                                profile=profile,
+                            ),
+                            chosen + [(name, cost)],
+                        )
+                    )
+            expanded.sort(key=lambda state: state[0])
+            states = expanded[:PROTOCOL_BEAM]
+        total, final_stats, chosen = states[0]
+        annotated = []
+        for step, (name, cost) in zip(steps, chosen):
+            annotated.append(
+                {
+                    **step,
+                    "protocol": name,
+                    "cost": cost,
+                    "stats": RelationStats(
+                        rows=step["stats"].rows,
+                        distinct=step["stats"].distinct,
+                        profile={},
+                    ),
+                }
+            )
+        # The emitted stages need the profile the chosen sequence
+        # produces, so replay it for the annotation.
+        left_stats = first_stats
+        for entry in annotated:
+            _, profile = self.model.join_stage(
+                left_stats,
+                compiled[entry["new"]][1],
+                entry["protocol"],
+                entry["stats"].rows,
+            )
+            left_stats = RelationStats(
+                rows=entry["stats"].rows,
+                distinct=entry["stats"].distinct,
+                profile=profile,
+            )
+            entry["stats"] = left_stats
+        return _Candidate(order=tuple(order), steps=annotated, cost=total)
+
+    def _emit_join_steps(
+        self, compiled, candidate: _Candidate
+    ) -> tuple[int, RelationStats, Schema]:
+        current = compiled[candidate.order[0]][0]
+        stats = compiled[candidate.order[0]][1]
+        schema = compiled[candidate.order[0]][2]
+        for step in candidate.steps:
+            new_index = compiled[step["new"]][0]
+            index = self._emit(
+                PhysicalStage(
+                    kind="join",
+                    inputs=(current, new_index),
+                    left_column=step["left_column"],
+                    right_column=step["right_column"],
+                    residual=step["residual"],
+                    protocol=step["protocol"],
+                    output_columns=step["columns"],
+                    output_bits=step["bits"],
+                    est_rows=step["stats"].rows,
+                    est_cost=step["cost"],
+                )
+            )
+            current = index
+            stats = step["stats"]
+            schema = Schema(step["columns"], step["bits"])
+        return current, stats, schema
+
+
+def optimize(
+    query: LogicalPlan,
+    tree: TreeTopology,
+    catalog: dict,
+    *,
+    strategy: str = "optimized",
+) -> PhysicalPlan:
+    """Compile ``query`` into a :class:`PhysicalPlan` for ``tree``.
+
+    ``catalog`` maps base relation names to
+    :class:`~repro.plan.relation.PlacedRelation` instances; their exact
+    statistics seed the cardinality model.  ``strategy`` is one of
+    ``optimized`` / ``gather`` / ``worst-order``.
+    """
+    compiler = _Compiler(tree, catalog, strategy)
+    output, _, _ = compiler.compile(query)
+    stages = tuple(compiler.stages)
+    return PhysicalPlan(
+        query=query.describe(),
+        strategy=strategy,
+        topology=tree.name,
+        stages=stages,
+        output=output,
+        estimated_cost=sum(s.est_cost for s in stages),
+    )

@@ -18,13 +18,20 @@ use:
 """
 
 from repro.queries.tuples import decode_tuples, encode_tuples
-from repro.queries.join import equijoin_lower_bound, tree_equijoin
-from repro.queries.aggregate import tree_groupby_aggregate
+from repro.queries.join import equijoin_lower_bound, local_join, tree_equijoin
+from repro.queries.aggregate import (
+    combine_per_key,
+    groupby_lower_bound,
+    tree_groupby_aggregate,
+)
 
 __all__ = [
     "encode_tuples",
     "decode_tuples",
     "tree_equijoin",
+    "local_join",
     "equijoin_lower_bound",
     "tree_groupby_aggregate",
+    "combine_per_key",
+    "groupby_lower_bound",
 ]

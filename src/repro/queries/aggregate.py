@@ -23,6 +23,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.core.common import LowerBound
 from repro.data.distribution import Distribution
 from repro.errors import ProtocolError
 from repro.queries.tuples import DEFAULT_PAYLOAD_BITS, decode_tuples, encode_tuples
@@ -43,7 +44,7 @@ _REDUCERS: dict[str, Callable] = {
 }
 
 
-def _combine(
+def combine_per_key(
     keys: np.ndarray, values: np.ndarray, op: str
 ) -> tuple[np.ndarray, np.ndarray]:
     """Aggregate ``values`` per distinct key; returns sorted unique keys."""
@@ -59,6 +60,54 @@ def _combine(
         return unique_keys, counts.astype(np.int64)
     reducer = _REDUCERS[op]
     return unique_keys, reducer(values, starts)
+
+
+def groupby_lower_bound(
+    tree: TreeTopology,
+    distribution: Distribution,
+    *,
+    tag: str = "R",
+    payload_bits: int = DEFAULT_PAYLOAD_BITS,
+) -> LowerBound:
+    """A per-link lower bound for group-by aggregation.
+
+    Any correct protocol assembles each key's aggregate at a single
+    node.  Fix a link ``e`` and a key ``k`` with input tuples on both
+    sides of ``e``: whichever side ends up owning ``k``, at least one
+    element about ``k`` (a tuple, a partial, or the final aggregate)
+    must cross ``e``, because the owning side's aggregate depends on
+    data only the other side holds.  Distinct keys contribute
+    independently, so
+
+        cost(e) >= |keys(V-e) ∩ keys(V+e)| / w_e
+
+    and the bound is the maximum over links.  This is the group-by
+    analogue of Theorem 1's per-link counting argument, expressed in
+    element units like every other bound in the package.
+    """
+    tree.require_symmetric("the group-by lower bound")
+    computes = sorted(tree.compute_nodes, key=node_sort_key)
+    node_keys = {}
+    for v in computes:
+        keys, _ = decode_tuples(
+            distribution.fragment(v, tag), payload_bits=payload_bits
+        )
+        node_keys[v] = np.unique(keys)
+    per_edge: dict = {}
+    for edge in tree.undirected_edges():
+        a_side, b_side = tree.compute_sides(edge)
+        a_keys = [node_keys[v] for v in a_side if len(node_keys.get(v, ()))]
+        b_keys = [node_keys[v] for v in b_side if len(node_keys.get(v, ()))]
+        if not a_keys or not b_keys:
+            per_edge[edge] = 0.0
+            continue
+        shared = np.intersect1d(
+            np.concatenate(a_keys), np.concatenate(b_keys)
+        )
+        per_edge[edge] = len(shared) / tree.undirected_bandwidth(edge)
+    return LowerBound.from_per_edge(
+        per_edge, "per-link shared-key counting (group-by)"
+    )
 
 
 @register_protocol(
@@ -99,7 +148,8 @@ def tree_groupby_aggregate(
     if total == 0:
         return ProtocolResult.from_ledger(
             "tree-groupby", cluster.ledger,
-            outputs={v: {} for v in computes}, meta={"op": op},
+            outputs={v: {} for v in computes},
+            meta={"op": op, "payload_bits": payload_bits},
         )
 
     hasher = WeightedNodeHasher(
@@ -120,7 +170,7 @@ def tree_groupby_aggregate(
                 continue
             keys, values = decode_tuples(local, payload_bits=payload_bits)
             if pre_aggregate:
-                keys, values = _combine(keys, values, combine_op)
+                keys, values = combine_per_key(keys, values, combine_op)
                 payload = encode_tuples(
                     keys, values, payload_bits=payload_bits
                 )
@@ -136,12 +186,11 @@ def tree_groupby_aggregate(
     for v in computes:
         received = cluster.local(v, _RECV)
         keys, values = decode_tuples(received, payload_bits=payload_bits)
-        if not pre_aggregate and op == "count":
-            final_keys, final_values = _combine(keys, values, "count")
-        else:
-            final_keys, final_values = _combine(
-                keys, values, final_op if pre_aggregate else op
-            )
+        # Pre-aggregated `count` partials are counts, combined by `sum`;
+        # raw tuples finalize under the original op.
+        final_keys, final_values = combine_per_key(
+            keys, values, final_op if pre_aggregate else op
+        )
         outputs[v] = {
             int(k): int(val) for k, val in zip(final_keys, final_values)
         }
@@ -149,5 +198,9 @@ def tree_groupby_aggregate(
         "tree-groupby",
         cluster.ledger,
         outputs=outputs,
-        meta={"op": op, "pre_aggregate": pre_aggregate},
+        meta={
+            "op": op,
+            "pre_aggregate": pre_aggregate,
+            "payload_bits": payload_bits,
+        },
     )

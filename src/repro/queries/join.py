@@ -66,14 +66,19 @@ def equijoin_lower_bound(
     )
 
 
-def _local_join(
+def local_join(
     r_tuples: np.ndarray,
     s_tuples: np.ndarray,
     *,
     payload_bits: int,
     materialize: bool,
 ) -> dict:
-    """Join two received fragments on the key component."""
+    """Join two encoded fragments on the key component.
+
+    Returns ``{"num_pairs", "num_keys"}`` and, with ``materialize=True``,
+    the joined ``(key, r_payload, s_payload)`` rows under ``"pairs"``.
+    Shared by the tree protocol and the gather/uniform-hash baselines.
+    """
     r_keys, r_payloads = decode_tuples(r_tuples, payload_bits=payload_bits)
     s_keys, s_payloads = decode_tuples(s_tuples, payload_bits=payload_bits)
     r_order = np.argsort(r_keys, kind="stable")
@@ -209,7 +214,7 @@ def tree_equijoin(
 
     outputs: dict = {}
     for v in computes:
-        outputs[v] = _local_join(
+        outputs[v] = local_join(
             cluster.local(v, _R_RECV),
             cluster.local(v, _S_RECV),
             payload_bits=payload_bits,

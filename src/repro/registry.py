@@ -97,6 +97,11 @@ class TaskSpec:
         ``lower_bound(tree, distribution)`` returning a
         :class:`repro.core.common.LowerBound`, or ``None`` when the task
         has no implemented bound (the report then records ``0.0``).
+    lower_bound_opts:
+        Names of protocol keyword arguments the bound also understands
+        (e.g. ``payload_bits`` for keyed tasks).  The engine forwards
+        these from the caller's ``**opts`` so the bound is evaluated on
+        the same instance parameters the protocol ran with.
     aliases:
         Alternative spellings accepted by :func:`get_task`
         (``"intersection"`` for ``"set-intersection"``, ...).
@@ -106,6 +111,7 @@ class TaskSpec:
     default_protocol: str
     verifier: Callable | None = None
     lower_bound: Callable | None = None
+    lower_bound_opts: tuple = field(default_factory=tuple)
     aliases: tuple = field(default_factory=tuple)
 
 
@@ -177,6 +183,7 @@ def register_task(
     default_protocol: str,
     verifier: Callable | None = None,
     lower_bound: Callable | None = None,
+    lower_bound_opts: tuple = (),
     aliases: tuple = (),
 ) -> TaskSpec:
     """Register a task (idempotent: re-registration overwrites)."""
@@ -185,6 +192,7 @@ def register_task(
         default_protocol=default_protocol,
         verifier=verifier,
         lower_bound=lower_bound,
+        lower_bound_opts=tuple(lower_bound_opts),
         aliases=tuple(aliases),
     )
     _TASK_SPECS[name] = spec

@@ -124,6 +124,97 @@ REPORT_HEADERS = [
 ]
 
 
+@dataclass(frozen=True)
+class PlanReport:
+    """Outcome of one multi-stage query plan: per-stage reports + totals.
+
+    The planner executes a pipeline of protocol stages; each
+    communication stage contributes one :class:`RunReport` (its
+    ``placement`` field records the stage label, e.g. ``"stage 2"``)
+    and the plan-level totals sum them.  ``estimated_cost`` is the
+    optimizer's prediction, kept beside the measured total so
+    ``--explain`` output and regression benchmarks can show how well
+    the cost model tracks reality.
+    """
+
+    query: str
+    strategy: str
+    topology: str
+    stages: tuple
+    estimated_cost: float
+    output_rows: int
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def cost(self) -> float:
+        """Measured plan cost: the sum of stage costs (element units)."""
+        return sum(stage.cost for stage in self.stages)
+
+    @property
+    def rounds(self) -> int:
+        return sum(stage.rounds for stage in self.stages)
+
+    @property
+    def lower_bound(self) -> float:
+        """Sum of per-stage bounds — a bound for *this* pipeline's
+        shuffles, not for the query (another plan may do better)."""
+        return sum(stage.lower_bound for stage in self.stages)
+
+    @property
+    def estimate_ratio(self) -> float:
+        """``measured / estimated`` — how well the cost model tracked."""
+        if self.estimated_cost > 0:
+            return self.cost / self.estimated_cost
+        return 0.0 if self.cost == 0 else float("inf")
+
+    def summarize(self) -> str:
+        """Per-stage text table plus the plan totals."""
+        if not self.stages:
+            raise AnalysisError("plan executed no communication stages")
+        table = summarize_reports(
+            list(self.stages),
+            title=(
+                f"{self.strategy} plan on {self.topology}: "
+                f"cost {self.cost:.1f} (estimated {self.estimated_cost:.1f}, "
+                f"{self.rounds} rounds, {self.output_rows} output rows)"
+            ),
+        )
+        return table
+
+    def to_dict(self) -> dict:
+        return {
+            "query": self.query,
+            "strategy": self.strategy,
+            "topology": self.topology,
+            "stages": [stage.to_dict() for stage in self.stages],
+            "estimated_cost": self.estimated_cost,
+            "output_rows": self.output_rows,
+            "cost": self.cost,
+            "rounds": self.rounds,
+            "lower_bound": self.lower_bound,
+            "meta": _jsonify(self.meta),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PlanReport":
+        try:
+            return cls(
+                query=payload["query"],
+                strategy=payload["strategy"],
+                topology=payload["topology"],
+                stages=tuple(
+                    RunReport.from_dict(stage) for stage in payload["stages"]
+                ),
+                estimated_cost=float(payload["estimated_cost"]),
+                output_rows=int(payload["output_rows"]),
+                meta=payload.get("meta", {}),
+            )
+        except KeyError as missing:
+            raise AnalysisError(
+                f"plan report payload is missing field {missing}"
+            ) from None
+
+
 def summarize_reports(
     reports: Sequence[RunReport], *, title: str | None = None
 ) -> str:

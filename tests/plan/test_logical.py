@@ -1,0 +1,151 @@
+"""Unit tests for the logical algebra and its reference semantics."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.errors import PlanError
+from repro.plan.logical import (
+    Filter,
+    GroupBy,
+    Join,
+    JoinCondition,
+    Scan,
+    chain_query,
+    evaluate_reference,
+    star_query,
+)
+from repro.plan.relation import PlacedRelation, Schema
+from repro.topology.builders import star
+
+
+def _catalog():
+    tree = star(2)
+    nodes = sorted(tree.compute_nodes, key=str)
+    r0 = PlacedRelation(
+        Schema(("x0", "x1"), (8, 8)),
+        {nodes[0]: np.array([[1, 5], [2, 6], [3, 5]])},
+    )
+    r1 = PlacedRelation(
+        Schema(("x1", "x2"), (8, 8)),
+        {nodes[1]: np.array([[5, 9], [5, 8], [7, 9]])},
+    )
+    return {"R0": r0, "R1": r1}
+
+
+class TestValidation:
+    def test_join_needs_two_inputs(self):
+        with pytest.raises(PlanError):
+            Join(inputs=(Scan("R0"),), conditions=())
+
+    def test_join_needs_conditions(self):
+        with pytest.raises(PlanError):
+            Join(inputs=(Scan("R0"), Scan("R1")), conditions=())
+
+    def test_condition_must_span_two_inputs(self):
+        with pytest.raises(PlanError):
+            JoinCondition(0, "a", 0, "b")
+
+    def test_condition_index_in_range(self):
+        with pytest.raises(PlanError):
+            Join(
+                inputs=(Scan("R0"), Scan("R1")),
+                conditions=(JoinCondition(0, "a", 5, "b"),),
+            )
+
+    def test_filter_op_validated(self):
+        with pytest.raises(PlanError):
+            Filter(Scan("R0"), "x0", "~=", 3)
+
+    def test_groupby_op_validated(self):
+        with pytest.raises(PlanError):
+            GroupBy(Scan("R0"), key="x0", value="x1", op="median")
+
+    def test_groupby_key_value_distinct(self):
+        with pytest.raises(PlanError):
+            GroupBy(Scan("R0"), key="x0", value="x0")
+
+    def test_builders_validate_sizes(self):
+        with pytest.raises(PlanError):
+            chain_query(1)
+        with pytest.raises(PlanError):
+            star_query(0)
+
+
+class TestReference:
+    def test_scan(self):
+        ref = evaluate_reference(Scan("R0"), _catalog())
+        assert ref == Counter({(1, 5): 1, (2, 6): 1, (3, 5): 1})
+
+    def test_missing_relation(self):
+        with pytest.raises(PlanError):
+            evaluate_reference(Scan("nope"), _catalog())
+
+    def test_filter(self):
+        ref = evaluate_reference(
+            Filter(Scan("R0"), "x1", "==", 5), _catalog()
+        )
+        assert ref == Counter({(1, 5): 1, (3, 5): 1})
+
+    def test_join(self):
+        query = Join(
+            inputs=(Scan("R0"), Scan("R1")),
+            conditions=(JoinCondition(0, "x1", 1, "x1"),),
+        )
+        ref = evaluate_reference(query, _catalog())
+        # keys 1 and 3 match x1=5 twice each; columns sorted (x0, x1, x2)
+        assert ref == Counter(
+            {
+                (1, 5, 9): 1,
+                (1, 5, 8): 1,
+                (3, 5, 9): 1,
+                (3, 5, 8): 1,
+            }
+        )
+
+    def test_groupby_over_join(self):
+        query = GroupBy(
+            Join(
+                inputs=(Scan("R0"), Scan("R1")),
+                conditions=(JoinCondition(0, "x1", 1, "x1"),),
+            ),
+            key="x2",
+            value="x0",
+            op="sum",
+        )
+        ref = evaluate_reference(query, _catalog())
+        # x2=9 rows have x0 in {1, 3}; x2=8 rows too.  Output columns
+        # sort alphabetically, so (sum_x0, x2).
+        assert ref == Counter({(4, 8): 1, (4, 9): 1})
+
+    def test_count_min_max(self):
+        catalog = _catalog()
+        # Output columns sort alphabetically: (op_x0, x1).
+        for op, expected in (
+            ("count", {(2, 5): 1, (1, 6): 1}),
+            ("min", {(1, 5): 1, (2, 6): 1}),
+            ("max", {(3, 5): 1, (2, 6): 1}),
+        ):
+            ref = evaluate_reference(
+                GroupBy(Scan("R0"), key="x1", value="x0", op=op), catalog
+            )
+            assert ref == Counter(expected), op
+
+    def test_disconnected_join_rejected(self):
+        catalog = _catalog()
+        catalog["R2"] = PlacedRelation(
+            Schema(("y", "z"), (8, 8)), {}
+        )
+        query = Join(
+            inputs=(Scan("R0"), Scan("R1"), Scan("R2")),
+            conditions=(JoinCondition(0, "x1", 1, "x1"),),
+        )
+        with pytest.raises(PlanError):
+            evaluate_reference(query, catalog)
+
+    def test_chain_query_shape(self):
+        query = chain_query(3)
+        assert len(query.inputs) == 3
+        assert len(query.conditions) == 2
+        assert query.describe().startswith("join(")

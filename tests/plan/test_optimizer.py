@@ -1,0 +1,132 @@
+"""Unit tests for join ordering, protocol choice and plan explain."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.plan.logical import (
+    Filter,
+    GroupBy,
+    Join,
+    JoinCondition,
+    Scan,
+    chain_query,
+    star_query,
+)
+from repro.plan.optimizer import optimize
+from repro.plan.relation import chain_catalog, star_catalog
+from repro.topology.builders import star, two_level
+
+
+@pytest.fixture
+def tree():
+    return two_level([4, 4], leaf_bandwidth=[4.0, 1.0], uplink_bandwidth=2.0)
+
+
+class TestCompilation:
+    def test_chain_plan_shape(self, tree):
+        catalog = chain_catalog(tree, num_relations=3, rows=200, seed=1)
+        plan = optimize(chain_query(3), tree, catalog)
+        kinds = [s.kind for s in plan.stages]
+        assert kinds.count("scan") == 3
+        assert kinds.count("join") == 2
+        assert plan.output == len(plan.stages) - 1
+        assert plan.estimated_cost > 0
+        # every shuffle stage has a protocol and estimates
+        for i in plan.shuffle_stages():
+            assert plan.stages[i].protocol is not None
+
+    def test_star_plan_merges_key(self, tree):
+        catalog = star_catalog(tree, num_satellites=2, rows=200, seed=1)
+        plan = optimize(star_query(2), tree, catalog)
+        out = plan.output_schema.columns
+        # one copy of the shared key plus one payload per relation
+        assert sorted(out) == ["a0", "a1", "a2", "k"]
+
+    def test_groupby_plan(self, tree):
+        catalog = chain_catalog(tree, num_relations=2, rows=200, seed=1)
+        query = GroupBy(chain_query(2), key="x2", value="x0", op="sum")
+        plan = optimize(query, tree, catalog)
+        assert plan.stages[plan.output].kind == "groupby"
+        assert plan.output_schema.columns == ("x2", "sum_x0")
+
+    def test_filter_is_local(self, tree):
+        catalog = chain_catalog(tree, num_relations=2, rows=200, seed=1)
+        query = Join(
+            inputs=(Filter(Scan("R0"), "x0", "<=", 100), Scan("R1")),
+            conditions=(JoinCondition(0, "x1", 1, "x1"),),
+        )
+        plan = optimize(query, tree, catalog)
+        filters = [s for s in plan.stages if s.kind == "filter"]
+        assert len(filters) == 1
+        assert filters[0].est_cost == 0.0
+        assert filters[0].protocol is None
+
+    def test_nested_join_flattened(self, tree):
+        catalog = chain_catalog(tree, num_relations=3, rows=150, seed=2)
+        nested = Join(
+            inputs=(
+                Join(
+                    inputs=(Scan("R0"), Scan("R1")),
+                    conditions=(JoinCondition(0, "x1", 1, "x1"),),
+                ),
+                Scan("R2"),
+            ),
+            conditions=(JoinCondition(0, "x2", 1, "x2"),),
+        )
+        plan = optimize(nested, tree, catalog)
+        assert len([s for s in plan.stages if s.kind == "join"]) == 2
+
+    def test_unknown_relation(self, tree):
+        with pytest.raises(PlanError):
+            optimize(chain_query(3), tree, {})
+
+    def test_unknown_strategy(self, tree):
+        catalog = chain_catalog(tree, num_relations=2, rows=100, seed=1)
+        with pytest.raises(PlanError):
+            optimize(chain_query(2), tree, catalog, strategy="fastest")
+
+    def test_disconnected_join_rejected(self, tree):
+        catalog = chain_catalog(tree, num_relations=3, rows=100, seed=1)
+        # R2 shares no condition with anything: every order leaves it
+        # stranded, which must surface as a planning error, not a
+        # silent cross product.
+        query = Join(
+            inputs=(Scan("R0"), Scan("R1"), Scan("R2")),
+            conditions=(JoinCondition(0, "x1", 1, "x1"),),
+        )
+        with pytest.raises(PlanError):
+            optimize(query, tree, catalog)
+
+
+class TestStrategies:
+    def test_gather_strategy_uses_gather_everywhere(self, tree):
+        catalog = chain_catalog(tree, num_relations=3, rows=200, seed=1)
+        plan = optimize(chain_query(3), tree, catalog, strategy="gather")
+        for i in plan.shuffle_stages():
+            assert plan.stages[i].protocol == "gather"
+
+    def test_optimized_estimate_not_above_baselines(self, tree):
+        catalog = chain_catalog(
+            tree, num_relations=3, rows=300, seed=4, policy="zipf"
+        )
+        query = chain_query(3)
+        optimized = optimize(query, tree, catalog)
+        gather = optimize(query, tree, catalog, strategy="gather")
+        worst = optimize(query, tree, catalog, strategy="worst-order")
+        assert optimized.estimated_cost <= gather.estimated_cost + 1e-9
+        assert optimized.estimated_cost <= worst.estimated_cost + 1e-9
+
+    def test_worst_order_at_least_optimized(self, tree):
+        catalog = chain_catalog(tree, num_relations=4, rows=200, seed=3)
+        query = chain_query(4)
+        optimized = optimize(query, tree, catalog)
+        worst = optimize(query, tree, catalog, strategy="worst-order")
+        assert worst.estimated_cost >= optimized.estimated_cost - 1e-9
+
+    def test_explain_renders(self, tree):
+        catalog = chain_catalog(tree, num_relations=3, rows=150, seed=1)
+        plan = optimize(chain_query(3), tree, catalog)
+        text = plan.explain()
+        assert "optimized plan" in text
+        assert "join" in text
+        assert "est cost" in text

@@ -1,0 +1,139 @@
+"""Unit tests for schemas, packed relations and catalog generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PlanError
+from repro.plan.relation import (
+    PlacedRelation,
+    Schema,
+    chain_catalog,
+    random_placed_relation,
+    star_catalog,
+)
+from repro.topology.builders import star, two_level
+
+
+class TestSchema:
+    def test_pack_unpack_roundtrip(self):
+        schema = Schema(("a", "b", "c"), (10, 12, 8))
+        rows = np.array([[1, 2, 3], [1023, 4095, 255], [0, 0, 0]])
+        packed = schema.pack(rows)
+        assert packed.shape == (3,)
+        assert np.array_equal(schema.unpack(packed), rows)
+
+    def test_pack_rejects_out_of_range(self):
+        schema = Schema(("a", "b"), (4, 4))
+        with pytest.raises(PlanError):
+            schema.pack(np.array([[16, 0]]))
+        with pytest.raises(PlanError):
+            schema.pack(np.array([[0, -1]]))
+
+    def test_too_wide_rejected(self):
+        with pytest.raises(PlanError):
+            Schema(("a", "b"), (40, 30))
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(PlanError):
+            Schema(("a", "a"), (4, 4))
+
+    def test_drop(self):
+        schema = Schema(("a", "b", "c"), (4, 5, 6))
+        dropped = schema.drop("b")
+        assert dropped.columns == ("a", "c")
+        assert dropped.bits == (4, 6)
+        with pytest.raises(PlanError):
+            Schema(("a",), (4,)).drop("a")
+
+    def test_index_unknown_column(self):
+        with pytest.raises(PlanError):
+            Schema(("a",), (4,)).index("z")
+
+
+class TestPlacedRelation:
+    def _relation(self):
+        schema = Schema(("k", "v"), (8, 8))
+        return PlacedRelation(
+            schema,
+            {
+                "n1": np.array([[1, 10], [2, 20]]),
+                "n2": np.array([[3, 30]]),
+            },
+        )
+
+    def test_sizes_and_rows(self):
+        rel = self._relation()
+        assert rel.total_rows == 3
+        assert rel.size("n1") == 2
+        assert rel.size("missing") == 0
+        assert sorted(map(tuple, rel.rows().tolist())) == [
+            (1, 10), (2, 20), (3, 30)
+        ]
+
+    def test_multiset_sorts_columns_by_name(self):
+        schema = Schema(("z", "a"), (8, 8))
+        rel = PlacedRelation(schema, {"n": np.array([[5, 7]])})
+        # canonical order is (a, z)
+        assert rel.multiset() == {(7, 5): 1}
+
+    def test_filter(self):
+        rel = self._relation()
+        kept = rel.filter("k", ">=", 2)
+        assert kept.total_rows == 2
+        assert kept.size("n1") == 1
+        with pytest.raises(PlanError):
+            rel.filter("k", "~", 2)
+
+    def test_key_payload_roundtrip(self):
+        rel = self._relation()
+        encoded, payload_schema, bits = rel.key_payload("k")
+        assert payload_schema.columns == ("v",)
+        assert bits == 8
+        keys = encoded["n1"] >> bits
+        assert sorted(keys.tolist()) == [1, 2]
+
+    def test_key_payload_shared_width(self):
+        rel = self._relation()
+        encoded, _, bits = rel.key_payload("k", payload_bits=20)
+        assert bits == 20
+        assert (encoded["n2"] >> 20).tolist() == [3]
+
+    def test_key_payload_rejects_narrow_budget(self):
+        rel = self._relation()
+        with pytest.raises(PlanError):
+            rel.key_payload("k", payload_bits=4)
+
+    def test_fragment_shape_validated(self):
+        schema = Schema(("a", "b"), (4, 4))
+        with pytest.raises(PlanError):
+            PlacedRelation(schema, {"n": np.zeros((2, 3), dtype=np.int64)})
+
+
+class TestCatalogs:
+    def test_chain_catalog_shape(self):
+        tree = star(4)
+        catalog = chain_catalog(tree, num_relations=3, rows=50, seed=1)
+        assert sorted(catalog) == ["R0", "R1", "R2"]
+        assert catalog["R1"].schema.columns == ("x1", "x2")
+        assert catalog["R1"].total_rows == 50
+
+    def test_star_catalog_shape(self):
+        tree = two_level([2, 2])
+        catalog = star_catalog(tree, num_satellites=2, rows=40, seed=1)
+        assert sorted(catalog) == ["D1", "D2", "F"]
+        assert catalog["F"].schema.columns == ("k", "a0")
+        assert catalog["D2"].schema.columns == ("k", "a2")
+
+    def test_policies_place_all_rows(self):
+        tree = star(5, bandwidth=[1, 2, 4, 2, 1])
+        schema = Schema(("k", "v"), (10, 10))
+        for policy in ("uniform", "zipf", "single-heavy", "proportional"):
+            rel = random_placed_relation(
+                tree, schema, rows=99, key_space=100, seed=3, policy=policy
+            )
+            assert rel.total_rows == 99
+
+    def test_key_space_must_fit_columns(self):
+        tree = star(3)
+        with pytest.raises(PlanError):
+            chain_catalog(tree, rows=10, key_space=5000, column_bits=10)

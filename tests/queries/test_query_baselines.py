@@ -1,0 +1,142 @@
+"""The gather / uniform-hash baselines for the relational tasks."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.data.generators import random_tuple_distribution
+from repro.queries.aggregate import groupby_lower_bound
+from repro.topology.builders import star, two_level
+
+
+@pytest.fixture
+def tree():
+    return two_level([3, 3], leaf_bandwidth=[4.0, 1.0], uplink_bandwidth=2.0)
+
+
+@pytest.fixture
+def instance(tree):
+    dist = random_tuple_distribution(
+        tree, r_size=300, s_size=600, key_space=64, seed=11, policy="zipf"
+    )
+    return tree, dist
+
+
+class TestEquijoinBaselines:
+    @pytest.mark.parametrize("protocol", ["tree", "uniform-hash", "gather"])
+    def test_all_protocols_agree(self, instance, protocol):
+        tree, dist = instance
+        report = repro.run("equijoin", tree, dist, protocol=protocol, seed=3)
+        # the engine verifier checked the pair count; record invariants
+        assert report.rounds == 1
+        assert report.cost > 0
+
+    def test_materialized_pairs_identical(self, instance):
+        tree, dist = instance
+        all_pairs = {}
+        for protocol in ("tree", "uniform-hash", "gather"):
+            _, result = repro.engine.run_with_result(
+                "equijoin", tree, dist, protocol=protocol, seed=3,
+                materialize=True,
+            )
+            rows = [
+                tuple(row)
+                for output in result.outputs.values()
+                for row in output.get("pairs", np.empty((0, 3))).tolist()
+            ]
+            all_pairs[protocol] = sorted(rows)
+        assert all_pairs["tree"] == all_pairs["uniform-hash"]
+        assert all_pairs["tree"] == all_pairs["gather"]
+
+    def test_gather_concentrates_output(self, instance):
+        tree, dist = instance
+        _, result = repro.engine.run_with_result(
+            "equijoin", tree, dist, protocol="gather", seed=0
+        )
+        producing = [
+            v for v, o in result.outputs.items() if o["num_pairs"] > 0
+        ]
+        assert len(producing) <= 1
+
+
+class TestGroupbyBaselines:
+    @pytest.mark.parametrize("protocol", ["tree", "uniform-hash", "gather"])
+    @pytest.mark.parametrize("op", ["sum", "count", "min", "max"])
+    def test_same_aggregates(self, instance, protocol, op):
+        tree, dist = instance
+        _, result = repro.engine.run_with_result(
+            "groupby-aggregate", tree, dist, protocol=protocol, seed=5, op=op
+        )
+        merged = {}
+        for groups in result.outputs.values():
+            merged.update(groups)
+        keys, values = repro.decode_tuples(dist.relation("R"))
+        expected = {}
+        for key, value in zip(keys.tolist(), values.tolist()):
+            if op == "sum":
+                expected[key] = expected.get(key, 0) + value
+            elif op == "count":
+                expected[key] = expected.get(key, 0) + 1
+            elif op == "min":
+                expected[key] = min(expected.get(key, value), value)
+            else:
+                expected[key] = max(expected.get(key, value), value)
+        assert merged == expected
+
+    def test_uniform_hash_pre_aggregates(self, instance):
+        tree, dist = instance
+        combined = repro.run(
+            "groupby-aggregate", tree, dist, protocol="uniform-hash", seed=1
+        )
+        raw = repro.run(
+            "groupby-aggregate", tree, dist, protocol="uniform-hash", seed=1,
+            pre_aggregate=False,
+        )
+        assert combined.cost <= raw.cost
+
+
+class TestGroupbyLowerBound:
+    def test_bound_positive_when_keys_split(self):
+        tree = star(3, bandwidth=[1.0, 1.0, 1.0])
+        nodes = tree.left_to_right_compute_order()
+        encoded = repro.encode_tuples(
+            np.array([1, 2, 3]), np.array([7, 7, 7])
+        )
+        dist = repro.Distribution(
+            {
+                nodes[0]: {"R": encoded},
+                nodes[1]: {"R": encoded.copy()},
+            }
+        )
+        bound = groupby_lower_bound(tree, dist)
+        # all three keys live on both sides of each populated link
+        assert bound.value == pytest.approx(3.0)
+        assert bound.bottleneck_edge is not None
+
+    def test_bound_zero_when_keys_local(self):
+        tree = star(3)
+        nodes = tree.left_to_right_compute_order()
+        dist = repro.Distribution(
+            {
+                nodes[0]: {
+                    "R": repro.encode_tuples(np.array([1, 1]), np.array([2, 3]))
+                }
+            }
+        )
+        assert groupby_lower_bound(tree, dist).value == 0.0
+
+    def test_bound_below_every_protocol(self, instance):
+        tree, dist = instance
+        bound = groupby_lower_bound(tree, dist)
+        assert bound.value > 0
+        for protocol in ("tree", "uniform-hash", "gather"):
+            report = repro.run(
+                "groupby-aggregate", tree, dist, protocol=protocol, seed=2
+            )
+            assert report.cost >= bound.value - 1e-9, protocol
+            assert report.lower_bound == pytest.approx(bound.value)
+
+    def test_registered_in_task_spec(self):
+        spec = repro.get_task("groupby-aggregate")
+        assert spec.lower_bound is not None
+        assert "payload_bits" in spec.lower_bound_opts

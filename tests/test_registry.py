@@ -155,3 +155,41 @@ class TestRegistration:
             )
         finally:
             registry_module._PROTOCOL_SPECS.pop(("sorting", "test-probe"))
+
+
+class TestLowerBoundOpts:
+    def test_relational_tasks_declare_bound_opts(self):
+        assert get_task("equijoin").lower_bound_opts == ("r_tag", "s_tag")
+        assert get_task("groupby-aggregate").lower_bound_opts == (
+            "tag",
+            "payload_bits",
+        )
+
+    def test_engine_forwards_bound_opts(self):
+        # The group-by bound decodes keys, so it must see the same
+        # payload_bits the protocol ran with; a mismatched width would
+        # report a bound over garbage keys.
+        import numpy as np
+
+        tree = repro.two_level([2, 2], uplink_bandwidth=1.0)
+        nodes = tree.left_to_right_compute_order()
+        keys = np.arange(8)
+        values = np.arange(8)
+        dist = repro.Distribution(
+            {
+                nodes[0]: {
+                    "R": repro.encode_tuples(keys, values, payload_bits=32)
+                },
+                nodes[1]: {
+                    "R": repro.encode_tuples(keys, values, payload_bits=32)
+                },
+            }
+        )
+        report = repro.run(
+            "groupby-aggregate", tree, dist, payload_bits=32, seed=0
+        )
+        from repro.queries.aggregate import groupby_lower_bound
+
+        direct = groupby_lower_bound(tree, dist, payload_bits=32)
+        assert report.lower_bound == pytest.approx(direct.value)
+        assert direct.value == pytest.approx(8.0)
