@@ -63,6 +63,12 @@ from repro.data import (
     random_distribution,
     random_tuple_distribution,
 )
+from repro.data.generators import (
+    gnm_random_graph,
+    planted_components_graph,
+    powerlaw_graph,
+    random_graph_distribution,
+)
 from repro.sim import Cluster, CostLedger, ProtocolResult
 from repro.core.common import LowerBound
 from repro.core.intersection import (
@@ -111,7 +117,17 @@ from repro.registry import (
     tasks,
 )
 from repro.engine import RunPlan, run, run_many, run_plan
-from repro.report import PlanReport
+from repro.graphs import (
+    PlacedGraph,
+    SuperstepDriver,
+    decode_edges,
+    encode_edges,
+    run_components,
+    run_degrees,
+    run_neighborhood_aggregate,
+    run_triangles,
+)
+from repro.report import GraphRunReport, PlanReport
 from repro.analysis import (
     RunReport,
     run_cartesian,
@@ -207,6 +223,20 @@ __all__ = [
     # query planner (repro.plan has the full subsystem API)
     "run_plan",
     "PlanReport",
+    # graph analytics (repro.graphs has the full subsystem API)
+    "PlacedGraph",
+    "SuperstepDriver",
+    "encode_edges",
+    "decode_edges",
+    "run_components",
+    "run_triangles",
+    "run_degrees",
+    "run_neighborhood_aggregate",
+    "GraphRunReport",
+    "gnm_random_graph",
+    "powerlaw_graph",
+    "planted_components_graph",
+    "random_graph_distribution",
     # analysis
     "RunReport",
     "run_intersection",

@@ -7,15 +7,19 @@ Usage::
     python -m repro topology            # draw the builder topologies
     python -m repro protocols           # the registered protocol catalog
     python -m repro plan --explain      # planner vs gather/worst-order
+    python -m repro graphs              # graph workloads vs baselines
     python -m repro table1 --r-size 2000 --s-size 2000 --seed 7
 
 Each command prints the same plain-text tables the benchmark harness
-records, so the headline claims can be checked without pytest.
+records, so the headline claims can be checked without pytest;
+``protocols``, ``compare`` and ``graphs`` take ``--json`` for
+machine-consumable output.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.report import aggregate, summarize_reports
@@ -85,6 +89,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     rows = []
+    reports = []
     for task, aware_protocol, base_protocol in (
         ("set-intersection", "tree", "uniform-hash"),
         ("cartesian-product", "tree", "classic-hypercube"),
@@ -94,6 +99,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             task, tree, dist, protocol=aware_protocol, seed=args.seed
         )
         base = run(task, tree, dist, protocol=base_protocol, seed=args.seed)
+        reports.extend([aware, base])
         rows.append(
             [
                 task,
@@ -102,6 +108,9 @@ def _cmd_compare(args: argparse.Namespace) -> int:
                 f"{base.cost / aware.cost:.2f}x",
             ]
         )
+    if args.json:
+        print(json.dumps([r.to_dict() for r in reports], indent=2))
+        return 0
     print(
         render_table(
             ["task", "topology-aware", "MPC-style baseline", "speedup"],
@@ -176,7 +185,95 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_graphs(args: argparse.Namespace) -> int:
+    """Graph workloads: topology-aware vs baseline, per suite topology."""
+    from repro.data.generators import random_graph_distribution
+    from repro.graphs import run_components, run_triangles
+
+    rows = []
+    reports = []
+    for tree in standard_topologies(include_random=False):
+        dist = random_graph_distribution(
+            tree,
+            num_edges=args.edges,
+            policy=args.placement,
+            seed=args.seed,
+        )
+        cells = {}
+        for task_label, runner, protocols in (
+            ("cc", run_components, ("tree", "uniform-hash", "gather")),
+            ("tri", run_triangles, ("optimized", "uniform-hash", "gather")),
+        ):
+            if not args.json:
+                # the text table shows aware vs uniform-hash only; skip
+                # the gather runs unless the JSON dump will carry them
+                protocols = protocols[:2]
+            for protocol in protocols:
+                report = runner(
+                    tree,
+                    dist,
+                    protocol=protocol,
+                    seed=args.seed,
+                    placement=args.placement,
+                )
+                cells[(task_label, protocol)] = report
+                reports.append(report)
+        cc_aware = cells[("cc", "tree")]
+        cc_base = cells[("cc", "uniform-hash")]
+        tri_aware = cells[("tri", "optimized")]
+        tri_base = cells[("tri", "uniform-hash")]
+        rows.append(
+            [
+                tree.name,
+                f"{cc_aware.cost:.0f}",
+                f"{cc_base.cost:.0f}",
+                f"{cc_base.cost / max(cc_aware.cost, 1e-9):.2f}x",
+                cc_aware.num_supersteps,
+                f"{tri_aware.cost:.0f}",
+                f"{tri_base.cost:.0f}",
+                f"{tri_base.cost / max(tri_aware.cost, 1e-9):.2f}x",
+            ]
+        )
+    if args.json:
+        print(json.dumps([r.to_dict() for r in reports], indent=2))
+        return 0
+    print(
+        render_table(
+            [
+                "topology",
+                "cc tree",
+                "cc uniform-hash",
+                "cc speedup",
+                "cc steps",
+                "tri optimized",
+                "tri uniform-hash",
+                "tri speedup",
+            ],
+            rows,
+            title=(
+                f"Graph workloads ({args.edges} edges, "
+                f"{args.placement} placement, seed={args.seed})"
+            ),
+        )
+    )
+    return 0
+
+
 def _cmd_protocols(args: argparse.Namespace) -> int:
+    if args.json:
+        payload = [
+            {
+                "task": spec.task,
+                "name": spec.name,
+                "kind": spec.kind,
+                "accepts_seed": spec.accepts_seed,
+                "topology": spec.topology,
+                "description": spec.description,
+            }
+            for spec in list_protocols()
+        ]
+        print(json.dumps(payload, indent=2))
+        return 0
     rows = [
         [
             spec.task,
@@ -237,11 +334,22 @@ def main(argv: list[str] | None = None) -> int:
         "--placement",
         default="proportional",
         choices=["uniform", "zipf", "single-heavy", "proportional"],
-        help="plan: placement policy for the base relations",
+        help="plan/graphs: placement policy for the input data",
+    )
+    parser.add_argument(
+        "--edges",
+        type=int,
+        default=2_000,
+        help="graphs: number of edges in the generated graph (default 2000)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="protocols/compare/graphs: emit JSON instead of a text table",
     )
     parser.add_argument(
         "command",
-        choices=["table1", "compare", "topology", "protocols", "plan"],
+        choices=["table1", "compare", "topology", "protocols", "plan", "graphs"],
         help="which reproduction to run",
     )
     args = parser.parse_args(argv)
@@ -251,6 +359,7 @@ def main(argv: list[str] | None = None) -> int:
         "topology": _cmd_topology,
         "protocols": _cmd_protocols,
         "plan": _cmd_plan,
+        "graphs": _cmd_graphs,
     }
     try:
         return handlers[args.command](args)

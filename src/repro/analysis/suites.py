@@ -13,7 +13,11 @@ from __future__ import annotations
 from typing import Callable, Iterable
 
 from repro.data.distribution import Distribution
-from repro.data.generators import random_distribution, random_tuple_distribution
+from repro.data.generators import (
+    random_distribution,
+    random_graph_distribution,
+    random_tuple_distribution,
+)
 from repro.engine import RunPlan
 from repro.topology.builders import (
     caterpillar,
@@ -63,7 +67,20 @@ DEFAULT_SUITE_TASKS = ("set-intersection", "cartesian-product", "sorting")
 # matching instance per task so the whole catalog sweeps on one grid.
 TUPLE_SUITE_TASKS = ("equijoin", "groupby-aggregate")
 
-ALL_SUITE_TASKS = DEFAULT_SUITE_TASKS + TUPLE_SUITE_TASKS
+# The graph tasks run on a placed edge list (tag "E"); standard_plans
+# generates one G(n, m) instance per grid cell, sized off the same
+# r_size knob the relational instances use.
+GRAPH_SUITE_TASKS = ("connected-components", "triangle-count")
+
+ALL_SUITE_TASKS = DEFAULT_SUITE_TASKS + TUPLE_SUITE_TASKS + GRAPH_SUITE_TASKS
+
+
+def _instance_kind(task: str) -> str:
+    if task in TUPLE_SUITE_TASKS:
+        return "tuple"
+    if task in GRAPH_SUITE_TASKS:
+        return "graph"
+    return "set"
 
 
 def standard_plans(
@@ -81,32 +98,40 @@ def standard_plans(
     ``run_seed`` controls protocol randomness (hash functions,
     splitter samples) and defaults to ``seed``.  Set-valued tasks run
     on a shared set-pair instance per grid cell; the relational tasks
-    (``equijoin``, ``groupby-aggregate``) get a keyed-tuple instance on
-    the same topology and placement, so every registered task — not
-    just the paper's three — sweeps the same grid.  Feed the result to
-    :func:`repro.engine.run_many` to evaluate the grid concurrently;
-    report order follows the grid order.
+    (``equijoin``, ``groupby-aggregate``) get a keyed-tuple instance
+    and the graph tasks (``connected-components``, ``triangle-count``)
+    a placed G(n, m) edge list on the same topology and placement, so
+    every registered task — not just the paper's three — sweeps the
+    same grid.  Feed the result to :func:`repro.engine.run_many` to
+    evaluate the grid concurrently; report order follows the grid
+    order.
     """
     task_list = list(tasks)
-    set_tasks = [t for t in task_list if t not in TUPLE_SUITE_TASKS]
-    tuple_tasks = [t for t in task_list if t in TUPLE_SUITE_TASKS]
+    kinds = {_instance_kind(t) for t in task_list}
     plans = []
     for tree in standard_topologies(include_random=include_random):
         for policy in placement_policies():
             instances = {}
-            if set_tasks:
-                instances[False] = random_distribution(
+            if "set" in kinds:
+                instances["set"] = random_distribution(
                     tree,
                     r_size=r_size,
                     s_size=s_size,
                     policy=policy,
                     seed=seed,
                 )
-            if tuple_tasks:
-                instances[True] = random_tuple_distribution(
+            if "tuple" in kinds:
+                instances["tuple"] = random_tuple_distribution(
                     tree,
                     r_size=r_size,
                     s_size=s_size,
+                    policy=policy,
+                    seed=seed,
+                )
+            if "graph" in kinds:
+                instances["graph"] = random_graph_distribution(
+                    tree,
+                    num_edges=r_size,
                     policy=policy,
                     seed=seed,
                 )
@@ -115,7 +140,7 @@ def standard_plans(
                     RunPlan(
                         task=task,
                         tree=tree,
-                        distribution=instances[task in TUPLE_SUITE_TASKS],
+                        distribution=instances[_instance_kind(task)],
                         seed=seed if run_seed is None else run_seed,
                         placement=policy,
                     )

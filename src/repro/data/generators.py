@@ -343,6 +343,207 @@ def random_tuple_distribution(
     return merge_distributions(r_part, s_part)
 
 
+# --------------------------------------------------------------------- #
+# graph workloads
+# --------------------------------------------------------------------- #
+
+
+def gnm_random_graph(
+    num_vertices: int, num_edges: int, *, seed: int = 0
+) -> np.ndarray:
+    """A uniform simple graph ``G(n, m)``: ``(m, 2)`` edges, ``src < dst``.
+
+    Edges are distinct uniform samples from all ``n (n - 1) / 2``
+    vertex pairs; deterministic in ``seed``.
+    """
+    if num_vertices < 0 or num_edges < 0:
+        raise DistributionError("graph sizes must be non-negative")
+    max_edges = num_vertices * (num_vertices - 1) // 2
+    if num_edges > max_edges:
+        raise DistributionError(
+            f"{num_edges} edges requested but a simple graph on "
+            f"{num_vertices} vertices has at most {max_edges}"
+        )
+    if num_edges == 0:
+        return np.empty((0, 2), np.int64)
+    rng = np.random.default_rng(derive_seed(seed, "gnm"))
+    # Sample edge *indices* without replacement from the upper triangle,
+    # then invert the row-major pair numbering — exact and vectorised.
+    chosen = rng.choice(max_edges, size=num_edges, replace=False).astype(
+        np.int64
+    )
+    # Pair k maps to (u, v): u is the largest integer with
+    # u*(2n - u - 1)/2 <= k; solve by binary search over the offsets.
+    offsets = np.cumsum(
+        np.arange(num_vertices - 1, 0, -1, dtype=np.int64)
+    )  # offsets[u] = #pairs with src <= u
+    src = np.searchsorted(offsets, chosen, side="right")
+    base = np.where(src > 0, offsets[src - 1], 0)
+    dst = src + 1 + (chosen - base)
+    return np.stack([src, dst], axis=1)
+
+
+def powerlaw_graph(
+    num_vertices: int,
+    num_edges: int,
+    *,
+    exponent: float = 2.0,
+    seed: int = 0,
+    max_attempts: int = 64,
+) -> np.ndarray:
+    """A heavy-tailed simple graph: endpoints drawn with Zipfian weights.
+
+    Vertex ``i`` is sampled with probability proportional to
+    ``(i + 1) ** -exponent``, so low-numbered vertices become hubs —
+    the skewed-degree regime where placement-aware shuffles matter
+    most.  Self-loops and duplicates are rejected and resampled;
+    raises :class:`DistributionError` if ``num_edges`` distinct edges
+    cannot be found in ``max_attempts`` batches.
+    """
+    if exponent < 0:
+        raise DistributionError("exponent must be non-negative")
+    max_edges = num_vertices * (num_vertices - 1) // 2
+    if num_edges > max_edges:
+        raise DistributionError(
+            f"{num_edges} edges requested but a simple graph on "
+            f"{num_vertices} vertices has at most {max_edges}"
+        )
+    if num_edges == 0:
+        return np.empty((0, 2), np.int64)
+    rng = np.random.default_rng(derive_seed(seed, "powerlaw"))
+    weights = (np.arange(1, num_vertices + 1, dtype=np.float64)) ** -exponent
+    weights /= weights.sum()
+    found = np.empty((0, 2), np.int64)
+    for _ in range(max_attempts):
+        batch = rng.choice(
+            num_vertices, size=(2 * num_edges, 2), p=weights
+        ).astype(np.int64)
+        batch = batch[batch[:, 0] != batch[:, 1]]
+        lo = np.minimum(batch[:, 0], batch[:, 1])
+        hi = np.maximum(batch[:, 0], batch[:, 1])
+        found = np.unique(
+            np.concatenate([found, np.stack([lo, hi], axis=1)]), axis=0
+        )
+        if len(found) >= num_edges:
+            # Keep a deterministic uniform subsample of the distinct
+            # edges found so far, preserving the degree skew.
+            keep = rng.choice(len(found), size=num_edges, replace=False)
+            return found[np.sort(keep)]
+    raise DistributionError(
+        f"could not draw {num_edges} distinct power-law edges "
+        f"(exponent {exponent}) in {max_attempts} batches; "
+        "lower the exponent or the edge count"
+    )
+
+
+def planted_components_graph(
+    num_components: int,
+    component_size: int,
+    *,
+    intra_edges: int | None = None,
+    seed: int = 0,
+) -> np.ndarray:
+    """Disjoint planted components, each connected by construction.
+
+    Component ``i`` owns the vertex block ``[i * component_size,
+    (i + 1) * component_size)`` and holds a random spanning tree plus
+    ``intra_edges`` extra random intra-block edges (default:
+    ``component_size``), so a correct connectivity algorithm must
+    recover exactly the blocks — the ground truth the property tests
+    assert.
+    """
+    if num_components < 1 or component_size < 2:
+        raise DistributionError(
+            "need at least one component of at least two vertices"
+        )
+    if intra_edges is None:
+        intra_edges = component_size
+    parts = []
+    for index in range(num_components):
+        offset = index * component_size
+        rng = np.random.default_rng(
+            derive_seed(seed, "planted", index)
+        )
+        # Random spanning tree: attach each vertex to a random earlier one.
+        order = rng.permutation(component_size).astype(np.int64)
+        attach = np.array(
+            [order[rng.integers(0, i)] for i in range(1, component_size)],
+            dtype=np.int64,
+        )
+        tree_edges = np.stack([order[1:], attach], axis=1)
+        extra = rng.integers(
+            0, component_size, size=(intra_edges, 2)
+        ).astype(np.int64)
+        extra = extra[extra[:, 0] != extra[:, 1]]
+        block = np.concatenate([tree_edges, extra]) + offset
+        lo = np.minimum(block[:, 0], block[:, 1])
+        hi = np.maximum(block[:, 0], block[:, 1])
+        parts.append(np.unique(np.stack([lo, hi], axis=1), axis=0))
+    return np.concatenate(parts)
+
+
+GRAPH_KINDS = ("gnm", "powerlaw", "planted")
+
+
+def random_graph_distribution(
+    tree: TreeTopology,
+    *,
+    num_edges: int,
+    num_vertices: int | None = None,
+    kind: str = "gnm",
+    policy: str = "uniform",
+    seed: int = 0,
+    tag: str = "E",
+    exponent: float = 2.0,
+    num_components: int = 4,
+) -> Distribution:
+    """One-call graph workload: edges generated and placed by policy.
+
+    ``kind`` picks the generator (``gnm`` / ``powerlaw`` / ``planted``)
+    and ``policy`` the placement regime, mirroring
+    :func:`random_distribution` for relations.  Returns the placed
+    edge distribution (tag ``"E"``); wrap it in
+    :class:`repro.graphs.PlacedGraph` for the graph accessors.
+    """
+    # Imported here: repro.graphs builds on this module's placement
+    # helpers, so a top-level import would be circular.
+    from repro.graphs.model import PlacedGraph
+
+    if num_vertices is None:
+        # The default must admit a simple graph: the smallest n with
+        # n(n-1)/2 >= num_edges, but at least num_edges // 2 so typical
+        # instances stay sparse (average degree ~4).
+        import math
+
+        feasible = (1 + math.isqrt(1 + 8 * num_edges)) // 2
+        while feasible * (feasible - 1) // 2 < num_edges:
+            feasible += 1
+        num_vertices = max(4, num_edges // 2, feasible)
+    if kind == "gnm":
+        edges = gnm_random_graph(num_vertices, num_edges, seed=seed)
+    elif kind == "powerlaw":
+        edges = powerlaw_graph(
+            num_vertices, num_edges, exponent=exponent, seed=seed
+        )
+    elif kind == "planted":
+        size = max(2, num_vertices // max(num_components, 1))
+        edges = planted_components_graph(
+            num_components, size, seed=seed
+        )
+    else:
+        raise DistributionError(
+            f"unknown graph kind {kind!r}; choose from {GRAPH_KINDS}"
+        )
+    return PlacedGraph.from_edges(
+        tree,
+        edges,
+        num_vertices=num_vertices,
+        policy=policy,
+        seed=seed,
+        tag=tag,
+    ).distribution
+
+
 def adversarial_sorted_distribution(
     tree: TreeTopology,
     sizes: PlacementSizes | None = None,

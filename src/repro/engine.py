@@ -55,6 +55,8 @@ import repro.core.intersection.star  # noqa: F401
 import repro.core.intersection.tree  # noqa: F401
 import repro.core.sorting.terasort  # noqa: F401
 import repro.core.sorting.wts  # noqa: F401
+import repro.graphs.components  # noqa: F401
+import repro.graphs.triangles  # noqa: F401
 import repro.queries.aggregate  # noqa: F401
 import repro.queries.join  # noqa: F401
 
@@ -300,6 +302,26 @@ class RunPlan:
         )
 
 
+def _execute_annotated(indexed: tuple[int, RunPlan]) -> RunReport:
+    """Execute one plan; on failure, pin the plan's index and task.
+
+    Pool workers strip the call site from tracebacks, so without this a
+    grid of hundreds of plans fails with no hint of *which* cell broke.
+    """
+    index, plan = indexed
+    try:
+        return plan.execute()
+    except Exception as error:
+        note = f"run_many: plan {index} (task {plan.task!r}) failed"
+        if hasattr(error, "add_note"):  # Python >= 3.11
+            error.add_note(note)
+        elif error.args:
+            error.args = (f"{error.args[0]} [{note}]",) + error.args[1:]
+        else:
+            error.args = (note,)
+        raise
+
+
 def run_many(
     plans: Iterable[RunPlan | dict],
     *,
@@ -310,7 +332,8 @@ def run_many(
     ``plans`` may mix :class:`RunPlan` instances and plain dicts with the
     same field names.  ``workers=1`` (or a single plan) degrades to a
     sequential loop, so failures surface with clean tracebacks; any
-    worker's exception propagates after the pool drains.
+    worker's exception propagates after the pool drains, annotated with
+    the failing plan's index and task name.
     """
     if workers is not None and workers < 1:
         raise AnalysisError(f"workers must be >= 1, got {workers}")
@@ -321,9 +344,11 @@ def run_many(
     if not normalized:
         return []
     if workers == 1 or len(normalized) == 1:
-        return [plan.execute() for plan in normalized]
+        return [
+            _execute_annotated(indexed) for indexed in enumerate(normalized)
+        ]
     with ThreadPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(RunPlan.execute, normalized))
+        return list(pool.map(_execute_annotated, enumerate(normalized)))
 
 
 def run_plan(

@@ -1,0 +1,197 @@
+"""The iterative superstep driver for multi-round graph protocols.
+
+The paper's protocols are one-shot; the dominant related work (Andoni
+et al., Behnezhad et al.) solves graph problems by *iterating*
+shuffle/aggregate supersteps.  :class:`SuperstepDriver` is the bridge:
+it runs a workload as a sequence of steps on one master
+:class:`~repro.sim.cluster.Cluster`, where each step is either
+
+* a **protocol step** — a registered protocol dispatched through the
+  engine (``groupby-aggregate`` with ``op="min"`` is one hash-to-min
+  round); the inner run's per-round :class:`~repro.sim.ledger.CostLedger`
+  is replayed into the master ledger round by round, so the driver's
+  total cost is exactly the sum of the composed protocols' costs under
+  the Section 2 accounting; or
+* a **cluster round** — communication the driver performs directly on
+  its own cluster (e.g. pushing updated labels back to the nodes that
+  subscribe to them), charged through the same ledger.
+
+Every step also contributes one :class:`~repro.report.RunReport` row,
+and :meth:`SuperstepDriver.report` packages the rows into a
+:class:`~repro.report.GraphRunReport` with per-superstep visibility.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.report import GraphRunReport, RunReport
+from repro.sim.cluster import Cluster, RoundContext
+from repro.sim.ledger import CostLedger
+from repro.sim.protocol import ProtocolResult
+from repro.topology.tree import TreeTopology
+
+
+class SuperstepDriver:
+    """Compose registered protocols and raw rounds on one master ledger."""
+
+    def __init__(
+        self, tree: TreeTopology, *, bits_per_element: int = 64
+    ) -> None:
+        self._tree = tree
+        self._cluster = Cluster(tree, bits_per_element=bits_per_element)
+        self._steps: list[RunReport] = []
+
+    @property
+    def tree(self) -> TreeTopology:
+        return self._tree
+
+    @property
+    def cluster(self) -> Cluster:
+        """The driver's cluster: storage for return legs, master ledger."""
+        return self._cluster
+
+    @property
+    def ledger(self) -> CostLedger:
+        """The master ledger accumulating every step's rounds."""
+        return self._cluster.ledger
+
+    @property
+    def steps(self) -> list[RunReport]:
+        """One report row per communication step, in execution order."""
+        return list(self._steps)
+
+    @property
+    def total_cost(self) -> float:
+        return self.ledger.total_cost()
+
+    @property
+    def num_rounds(self) -> int:
+        return self.ledger.num_rounds
+
+    # ------------------------------------------------------------------ #
+    # steps
+    # ------------------------------------------------------------------ #
+
+    def protocol_step(
+        self,
+        task: str,
+        distribution,
+        *,
+        label: str,
+        protocol: str | None = None,
+        seed: int = 0,
+        verify: bool = True,
+        **opts,
+    ) -> ProtocolResult:
+        """Run one registered protocol as a superstep; absorb its ledger.
+
+        The call goes through :func:`repro.engine.run_with_result`, so
+        the step is verified and bounded exactly like a standalone run;
+        ``label`` lands in the step report's ``placement`` column.
+        """
+        # Imported lazily: the engine imports the graph task modules,
+        # which build on this driver.
+        from repro.engine import run_with_result
+
+        report, result = run_with_result(
+            task,
+            self._tree,
+            distribution,
+            protocol=protocol,
+            seed=seed,
+            placement=label,
+            verify=verify,
+            **opts,
+        )
+        self._absorb(result.ledger)
+        self._steps.append(report)
+        return result
+
+    @contextmanager
+    def cluster_round(
+        self,
+        *,
+        task: str,
+        protocol: str,
+        label: str,
+        input_size: int = 0,
+    ) -> Iterator[RoundContext]:
+        """Open one driver-level communication round on the master cluster.
+
+        Sends registered inside the block are routed, delivered and
+        charged by the shared cluster; on exit the round becomes one
+        zero-bound :class:`RunReport` row labelled ``label``.
+        """
+        with self._cluster.round() as ctx:
+            yield ctx
+        index = self.ledger.num_rounds - 1
+        self._steps.append(
+            RunReport(
+                task=task,
+                protocol=protocol,
+                topology=self._tree.name,
+                placement=label,
+                input_size=input_size,
+                rounds=1,
+                cost=self.ledger.round_cost(index),
+                lower_bound=0.0,
+                meta={"driver_round": index},
+            )
+        )
+
+    def set_last_input_size(self, input_size: int) -> None:
+        """Record a step's input volume after the round has closed.
+
+        Return legs only know how many elements they shipped once the
+        round's sends are enumerated, which is after
+        :meth:`cluster_round` already built the report row.
+        """
+        if not self._steps:
+            return
+        from dataclasses import replace
+
+        self._steps[-1] = replace(self._steps[-1], input_size=input_size)
+
+    def _absorb(self, ledger: CostLedger) -> None:
+        """Replay an inner protocol's per-round loads into the master.
+
+        Round boundaries are preserved, so the master's round costs (and
+        hence the total) match the inner run's exactly.
+        """
+        for index in range(ledger.num_rounds):
+            self.ledger.open_round()
+            for edge, load in ledger.round_loads(index).items():
+                self.ledger.add_load(edge, load)
+            self.ledger.close_round()
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+
+    def report(
+        self,
+        *,
+        task: str,
+        protocol: str,
+        placement: str = "custom",
+        num_vertices: int,
+        num_edges: int,
+        lower_bound: float = 0.0,
+        converged: bool = True,
+        meta: dict | None = None,
+    ) -> GraphRunReport:
+        """Package the accumulated step rows as a :class:`GraphRunReport`."""
+        return GraphRunReport(
+            task=task,
+            protocol=protocol,
+            topology=self._tree.name,
+            placement=placement,
+            num_vertices=num_vertices,
+            num_edges=num_edges,
+            supersteps=tuple(self._steps),
+            lower_bound=lower_bound,
+            converged=converged,
+            meta=meta or {},
+        )

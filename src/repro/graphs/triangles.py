@@ -1,0 +1,439 @@
+"""Triangle counting compiled as two equi-join stages through the planner.
+
+A triangle ``x < y < z`` is one result row of the cyclic self-join
+
+    E1(a, b) ⋈ E2(b, c) ⋈ E3(a, c)
+
+over three renamings of the *oriented* edge relation (every edge stored
+as ``a < b``), so counting triangles is exactly the kind of
+multi-relation query the ``plan/`` subsystem compiles: two equi-join
+shuffle stages (the second with the ``a = a``/``c = c`` residual),
+each dispatched to a registered ``equijoin`` protocol.  The flavours
+pin the per-stage protocol:
+
+* ``tree`` — the optimizer's join order, every shuffle the paper's
+  distribution-aware tree equi-join;
+* ``uniform-hash`` — the same order with the MPC hash-join baseline;
+* ``gather`` — the planner's gather-everything strategy.
+
+The compiled pipeline reports per-stage rows; the registered protocol
+summarizes them into one :class:`~repro.sim.protocol.ProtocolResult`
+(the stage rows ride along in ``meta["supersteps"]``, and the
+result's ledger is empty — cost/rounds are the authoritative totals,
+exactly as in :class:`~repro.report.PlanReport`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.core.common import LowerBound
+from repro.data.distribution import Distribution
+from repro.errors import ProtocolError
+from repro.graphs.model import (
+    DEFAULT_EDGE_TAG,
+    VERTEX_BITS,
+    PlacedGraph,
+    decode_edges,
+)
+from repro.graphs.reference import reference_triangle_count
+from repro.registry import register_protocol, register_task
+from repro.report import GraphRunReport, RunReport
+from repro.sim.ledger import CostLedger
+from repro.sim.protocol import ProtocolResult
+from repro.topology.tree import TreeTopology, node_sort_key
+
+
+# --------------------------------------------------------------------- #
+# lower bound + verification
+# --------------------------------------------------------------------- #
+
+
+def triangles_lower_bound(
+    tree: TreeTopology,
+    distribution: Distribution,
+    *,
+    tag: str = DEFAULT_EDGE_TAG,
+) -> LowerBound:
+    """A per-link counting lower bound for triangle counting.
+
+    Fix a link ``e`` and a vertex ``v`` with incident edges on both
+    sides of ``e``.  The number of triangles through ``v`` depends on
+    pairs of ``v``-edges from opposite sides, so whichever side
+    accounts for ``v``'s triangles must learn at least one element
+    about ``v`` from the other side.  A single crossing edge element
+    ``(u, w)`` carries information about exactly its two endpoints,
+    hence
+
+        cost(e) >= |{v : v has incident edges on both sides}| / (2 w_e)
+
+    — the triangle analogue of the group-by shared-key bound, with the
+    factor 2 because one edge element covers two vertices.
+    """
+    tree.require_symmetric("the triangle-count lower bound")
+    computes = sorted(tree.compute_nodes, key=node_sort_key)
+    node_vertices: dict = {}
+    for v in computes:
+        fragment = distribution.fragment(v, tag)
+        if not len(fragment):
+            node_vertices[v] = np.empty(0, np.int64)
+            continue
+        src, dst = decode_edges(fragment)
+        node_vertices[v] = np.unique(np.concatenate([src, dst]))
+    per_edge: dict = {}
+    for edge in tree.undirected_edges():
+        a_side, b_side = tree.compute_sides(edge)
+        a_parts = [node_vertices[v] for v in a_side if len(node_vertices.get(v, ()))]
+        b_parts = [node_vertices[v] for v in b_side if len(node_vertices.get(v, ()))]
+        if not a_parts or not b_parts:
+            per_edge[edge] = 0.0
+            continue
+        shared = np.intersect1d(
+            np.concatenate(a_parts), np.concatenate(b_parts)
+        )
+        per_edge[edge] = len(shared) / (
+            2.0 * tree.undirected_bandwidth(edge)
+        )
+    return LowerBound.from_per_edge(
+        per_edge, "per-link shared-vertex counting (triangles)"
+    )
+
+
+def _verify_triangles(
+    tree: TreeTopology, distribution: Distribution, result: ProtocolResult
+) -> None:
+    """The per-node counts must sum to the reference triangle count."""
+    tag = result.meta.get("tag", DEFAULT_EDGE_TAG)
+    fragments = [
+        distribution.fragment(v, tag)
+        for v in sorted(distribution.nodes, key=node_sort_key)
+    ]
+    fragments = [f for f in fragments if len(f)]
+    if fragments:
+        packed = np.concatenate(fragments)
+        src, dst = decode_edges(packed)
+        lo, hi = np.minimum(src, dst), np.maximum(src, dst)
+        canonical = np.stack([lo, hi], axis=1)
+        if len(np.unique(canonical, axis=0)) != len(canonical):
+            raise ProtocolError(
+                "triangle counting requires a simple graph; the placement "
+                "contains duplicated edges"
+            )
+        expected = reference_triangle_count(canonical)
+    else:
+        expected = 0
+    produced = sum(
+        output.get("num_triangles", 0) for output in result.outputs.values()
+    )
+    if produced != expected:
+        raise ProtocolError(
+            f"{result.protocol} counted {produced} of {expected} triangles"
+        )
+
+
+# --------------------------------------------------------------------- #
+# compilation through the planner
+# --------------------------------------------------------------------- #
+
+
+def triangle_query():
+    """The cyclic three-way self-join whose result rows are triangles."""
+    from repro.plan import Join, JoinCondition, Scan
+
+    return Join(
+        inputs=(Scan("E1"), Scan("E2"), Scan("E3")),
+        conditions=(
+            JoinCondition(0, "b", 1, "b"),
+            JoinCondition(1, "c", 2, "c"),
+            JoinCondition(0, "a", 2, "a"),
+        ),
+    )
+
+
+def triangle_catalog(
+    tree: TreeTopology, distribution: Distribution, *, tag: str = DEFAULT_EDGE_TAG
+) -> dict:
+    """Three renamings of the oriented edge relation, placed as given.
+
+    Each fragment is canonicalized locally (``a < b`` — free
+    computation), and the same physical rows back ``E1(a, b)``,
+    ``E2(b, c)`` and ``E3(a, c)``.
+    """
+    from repro.plan import PlacedRelation, Schema
+
+    fragments: dict = {}
+    for node in sorted(distribution.nodes, key=node_sort_key):
+        packed = distribution.fragment(node, tag)
+        if not len(packed):
+            continue
+        src, dst = decode_edges(packed)
+        rows = np.stack(
+            [np.minimum(src, dst), np.maximum(src, dst)], axis=1
+        )
+        fragments[node] = rows
+    widths = (VERTEX_BITS, VERTEX_BITS)
+    return {
+        "E1": PlacedRelation(Schema(("a", "b"), widths), fragments),
+        "E2": PlacedRelation(Schema(("b", "c"), widths), fragments),
+        "E3": PlacedRelation(Schema(("a", "c"), widths), fragments),
+    }
+
+
+def _compile(tree: TreeTopology, catalog: dict, flavor: str):
+    """A physical plan for ``flavor``.
+
+    ``optimized`` keeps the planner's per-stage protocol choice (the
+    topology-aware behaviour: whichever registered equi-join is
+    estimated cheapest on this topology and placement); ``gather`` is
+    the planner's centralizing strategy; ``tree`` / ``uniform-hash``
+    pin every shuffle stage to that protocol, isolating what the
+    protocol choice alone is worth.
+    """
+    from repro.plan import optimize
+
+    if flavor == "gather":
+        return optimize(triangle_query(), tree, catalog, strategy="gather")
+    physical = optimize(triangle_query(), tree, catalog, strategy="optimized")
+    if flavor == "optimized":
+        return physical
+    stages = tuple(
+        replace(stage, protocol=flavor)
+        if stage.kind in ("join", "groupby")
+        else stage
+        for stage in physical.stages
+    )
+    return replace(physical, stages=stages)
+
+
+def _count_triangles(
+    tree: TreeTopology,
+    distribution: Distribution,
+    *,
+    flavor: str,
+    protocol_name: str,
+    seed: int,
+    tag: str,
+    bits_per_element: int,
+) -> ProtocolResult:
+    from repro.plan.executor import execute_plan
+
+    catalog = triangle_catalog(tree, distribution, tag=tag)
+    num_edges = distribution.total(tag)
+    if num_edges == 0:
+        return ProtocolResult(
+            protocol=protocol_name,
+            rounds=0,
+            cost=0.0,
+            cost_bits=0.0,
+            ledger=CostLedger(tree, bits_per_element=bits_per_element),
+            outputs={v: {"num_triangles": 0} for v in tree.compute_nodes},
+            meta={
+                "tag": tag,
+                "num_edges": 0,
+                "num_vertices": 0,
+                "num_triangles": 0,
+                "supersteps": [],
+                "strategy": flavor,
+            },
+        )
+    physical = _compile(tree, catalog, flavor)
+    plan_report, output = execute_plan(
+        physical, tree, catalog, seed=seed, keep_output=True
+    )
+    outputs: dict = {v: {"num_triangles": 0} for v in tree.compute_nodes}
+    for node in output.nodes:
+        outputs[node] = {"num_triangles": int(output.size(node))}
+    vertices = np.unique(catalog["E1"].rows())
+    meta = {
+        "tag": tag,
+        "num_edges": int(num_edges),
+        "num_vertices": int(len(vertices)),
+        "num_triangles": int(output.total_rows),
+        "strategy": flavor,
+        "estimated_cost": plan_report.estimated_cost,
+        "supersteps": [stage.to_dict() for stage in plan_report.stages],
+        "plan": [
+            stage["operator"] for stage in plan_report.meta["stages"]
+        ],
+    }
+    return ProtocolResult(
+        protocol=protocol_name,
+        rounds=plan_report.rounds,
+        cost=plan_report.cost,
+        cost_bits=plan_report.cost * bits_per_element,
+        ledger=CostLedger(tree, bits_per_element=bits_per_element),
+        outputs=outputs,
+        meta=meta,
+    )
+
+
+# --------------------------------------------------------------------- #
+# registered protocols
+# --------------------------------------------------------------------- #
+
+
+@register_protocol(
+    task="triangle-count",
+    name="optimized",
+    accepts_seed=True,
+    description="Planner-compiled joins, protocol chosen per stage",
+)
+def optimized_triangle_count(
+    tree: TreeTopology,
+    distribution: Distribution,
+    *,
+    seed: int = 0,
+    tag: str = DEFAULT_EDGE_TAG,
+    bits_per_element: int = 64,
+) -> ProtocolResult:
+    """Topology-aware triangle counting: the planner picks each stage."""
+    return _count_triangles(
+        tree,
+        distribution,
+        flavor="optimized",
+        protocol_name="optimized-triangles",
+        seed=seed,
+        tag=tag,
+        bits_per_element=bits_per_element,
+    )
+
+
+@register_protocol(
+    task="triangle-count",
+    name="tree",
+    accepts_seed=True,
+    description="Two tree equi-join stages compiled by the planner",
+)
+def tree_triangle_count(
+    tree: TreeTopology,
+    distribution: Distribution,
+    *,
+    seed: int = 0,
+    tag: str = DEFAULT_EDGE_TAG,
+    bits_per_element: int = 64,
+) -> ProtocolResult:
+    """Distribution-aware triangle counting (tree equi-joins per stage)."""
+    return _count_triangles(
+        tree,
+        distribution,
+        flavor="tree",
+        protocol_name="tree-triangles",
+        seed=seed,
+        tag=tag,
+        bits_per_element=bits_per_element,
+    )
+
+
+@register_protocol(
+    task="triangle-count",
+    name="uniform-hash",
+    kind="baseline",
+    accepts_seed=True,
+    description="The same plan with uniform-hash MPC joins per stage",
+)
+def uniform_hash_triangle_count(
+    tree: TreeTopology,
+    distribution: Distribution,
+    *,
+    seed: int = 0,
+    tag: str = DEFAULT_EDGE_TAG,
+    bits_per_element: int = 64,
+) -> ProtocolResult:
+    """Topology-agnostic triangle counting (uniform hash joins)."""
+    return _count_triangles(
+        tree,
+        distribution,
+        flavor="uniform-hash",
+        protocol_name="uniform-hash-triangles",
+        seed=seed,
+        tag=tag,
+        bits_per_element=bits_per_element,
+    )
+
+
+@register_protocol(
+    task="triangle-count",
+    name="gather",
+    kind="baseline",
+    accepts_seed=True,
+    description="The planner's gather-everything strategy",
+)
+def gather_triangle_count(
+    tree: TreeTopology,
+    distribution: Distribution,
+    *,
+    seed: int = 0,
+    tag: str = DEFAULT_EDGE_TAG,
+    bits_per_element: int = 64,
+) -> ProtocolResult:
+    """Centralizing triangle counting (gather stages)."""
+    return _count_triangles(
+        tree,
+        distribution,
+        flavor="gather",
+        protocol_name="gather-triangles",
+        seed=seed,
+        tag=tag,
+        bits_per_element=bits_per_element,
+    )
+
+
+register_task(
+    "triangle-count",
+    default_protocol="optimized",
+    verifier=_verify_triangles,
+    lower_bound=triangles_lower_bound,
+    lower_bound_opts=("tag",),
+    aliases=("triangles",),
+)
+
+
+# --------------------------------------------------------------------- #
+# facade
+# --------------------------------------------------------------------- #
+
+
+def run_triangles(
+    tree: TreeTopology,
+    graph: "PlacedGraph | Distribution",
+    *,
+    protocol: str | None = None,
+    seed: int = 0,
+    placement: str = "custom",
+    verify: bool = True,
+    **opts,
+) -> GraphRunReport:
+    """Run triangle counting and report per-stage costs."""
+    from repro.engine import run_with_result
+
+    distribution = (
+        graph.distribution if isinstance(graph, PlacedGraph) else graph
+    )
+    report, result = run_with_result(
+        "triangle-count",
+        tree,
+        distribution,
+        protocol=protocol,
+        seed=seed,
+        placement=placement,
+        verify=verify,
+        **opts,
+    )
+    meta = dict(result.meta)
+    steps = tuple(
+        RunReport.from_dict(payload) for payload in meta.pop("supersteps", [])
+    )
+    return GraphRunReport(
+        task=report.task,
+        protocol=report.protocol,
+        topology=report.topology,
+        placement=placement,
+        num_vertices=int(meta.get("num_vertices", 0)),
+        num_edges=int(meta.get("num_edges", 0)),
+        supersteps=steps,
+        lower_bound=report.lower_bound,
+        converged=True,
+        meta=meta,
+    )

@@ -77,13 +77,19 @@ def groupby_lower_bound(
     element about ``k`` (a tuple, a partial, or the final aggregate)
     must cross ``e``, because the owning side's aggregate depends on
     data only the other side holds.  Distinct keys contribute
-    independently, so
+    independently — but the link is full-duplex, and the algorithm
+    chooses per key *which* side owns it, splitting the forced
+    crossings between the two directed channels; only the heavier
+    direction shows up in the round cost, so
 
-        cost(e) >= |keys(V-e) ∩ keys(V+e)| / w_e
+        cost(e) >= |keys(V-e) ∩ keys(V+e)| / (2 w_e)
 
     and the bound is the maximum over links.  This is the group-by
     analogue of Theorem 1's per-link counting argument, expressed in
-    element units like every other bound in the package.
+    element units like every other bound in the package.  (The
+    distribution-aware degree workload in :mod:`repro.graphs.degrees`
+    actually achieves less than ``|shared| / w_e`` on skewed
+    placements, which is what forces the factor 2.)
     """
     tree.require_symmetric("the group-by lower bound")
     computes = sorted(tree.compute_nodes, key=node_sort_key)
@@ -104,7 +110,9 @@ def groupby_lower_bound(
         shared = np.intersect1d(
             np.concatenate(a_keys), np.concatenate(b_keys)
         )
-        per_edge[edge] = len(shared) / tree.undirected_bandwidth(edge)
+        per_edge[edge] = len(shared) / (
+            2.0 * tree.undirected_bandwidth(edge)
+        )
     return LowerBound.from_per_edge(
         per_edge, "per-link shared-key counting (group-by)"
     )

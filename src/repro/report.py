@@ -60,10 +60,13 @@ class RunReport:
         """JSON-serializable form; ``from_dict`` round-trips it.
 
         ``ratio`` is included for downstream consumers even though it is
-        derived; ``meta`` is coerced to builtins (numpy arrays become
-        lists), so a report that went through JSON compares equal on
-        every scalar field but not necessarily on ``meta``.
+        derived — as ``None`` when infinite (positive cost over a zero
+        bound), since bare ``Infinity`` is not valid RFC 8259 JSON;
+        ``meta`` is coerced to builtins (numpy arrays become lists), so
+        a report that went through JSON compares equal on every scalar
+        field but not necessarily on ``meta``.
         """
+        ratio = self.ratio
         return {
             "task": self.task,
             "protocol": self.protocol,
@@ -73,7 +76,7 @@ class RunReport:
             "rounds": self.rounds,
             "cost": self.cost,
             "lower_bound": self.lower_bound,
-            "ratio": self.ratio,
+            "ratio": ratio if ratio != float("inf") else None,
             "meta": _jsonify(self.meta),
         }
 
@@ -212,6 +215,109 @@ class PlanReport:
         except KeyError as missing:
             raise AnalysisError(
                 f"plan report payload is missing field {missing}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class GraphRunReport:
+    """Outcome of one iterative graph workload: per-superstep rows + totals.
+
+    The graph driver (:mod:`repro.graphs.iterate`) executes a workload
+    as a sequence of supersteps — each a registered protocol run (a
+    shuffle or aggregate dispatched through the engine) or a
+    driver-level return round — and every communication step
+    contributes one :class:`RunReport` (its ``placement`` field records
+    the step label, e.g. ``"superstep 2 shuffle"``).  The report keeps
+    the per-step rows beside the totals so convergence behaviour is
+    inspectable round by round, mirroring :class:`PlanReport` for the
+    planner.
+    """
+
+    task: str
+    protocol: str
+    topology: str
+    placement: str
+    num_vertices: int
+    num_edges: int
+    supersteps: tuple
+    lower_bound: float
+    converged: bool
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def cost(self) -> float:
+        """Measured workload cost: the sum of step costs (element units)."""
+        return sum(step.cost for step in self.supersteps)
+
+    @property
+    def rounds(self) -> int:
+        return sum(step.rounds for step in self.supersteps)
+
+    @property
+    def num_supersteps(self) -> int:
+        return len(self.supersteps)
+
+    @property
+    def ratio(self) -> float:
+        """``cost / lower_bound`` against the task's per-link bound."""
+        if self.lower_bound > 0:
+            return self.cost / self.lower_bound
+        return 0.0 if self.cost == 0 else float("inf")
+
+    def summarize(self) -> str:
+        """Per-step text table plus the workload totals."""
+        if not self.supersteps:
+            raise AnalysisError("graph run executed no communication steps")
+        return summarize_reports(
+            list(self.supersteps),
+            title=(
+                f"{self.task} [{self.protocol}] on {self.topology}: "
+                f"cost {self.cost:.1f} over {self.num_supersteps} steps "
+                f"({self.rounds} rounds, n={self.num_vertices}, "
+                f"m={self.num_edges}, "
+                f"{'converged' if self.converged else 'NOT converged'})"
+            ),
+        )
+
+    def to_dict(self) -> dict:
+        ratio = self.ratio
+        return {
+            "task": self.task,
+            "protocol": self.protocol,
+            "topology": self.topology,
+            "placement": self.placement,
+            "num_vertices": self.num_vertices,
+            "num_edges": self.num_edges,
+            "supersteps": [step.to_dict() for step in self.supersteps],
+            "lower_bound": self.lower_bound,
+            "converged": self.converged,
+            "cost": self.cost,
+            "rounds": self.rounds,
+            # infinite ratios (cost over a zero bound) are not valid JSON
+            "ratio": ratio if ratio != float("inf") else None,
+            "meta": _jsonify(self.meta),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "GraphRunReport":
+        try:
+            return cls(
+                task=payload["task"],
+                protocol=payload["protocol"],
+                topology=payload["topology"],
+                placement=payload["placement"],
+                num_vertices=int(payload["num_vertices"]),
+                num_edges=int(payload["num_edges"]),
+                supersteps=tuple(
+                    RunReport.from_dict(step) for step in payload["supersteps"]
+                ),
+                lower_bound=float(payload["lower_bound"]),
+                converged=bool(payload["converged"]),
+                meta=payload.get("meta", {}),
+            )
+        except KeyError as missing:
+            raise AnalysisError(
+                f"graph report payload is missing field {missing}"
             ) from None
 
 

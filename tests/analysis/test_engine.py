@@ -155,6 +155,24 @@ class TestRunMany:
         with pytest.raises(AnalysisError, match="unknown protocol"):
             run_many(plans, workers=2)
 
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_failure_annotated_with_plan_index_and_task(
+        self, instance, workers
+    ):
+        tree, dist = instance
+        plans = [
+            RunPlan("set-intersection", tree, dist),
+            RunPlan("sorting", tree, dist, protocol="bogus"),
+        ]
+        with pytest.raises(AnalysisError) as excinfo:
+            run_many(plans, workers=workers)
+        # the propagated exception pins the failing cell: index 1, task
+        # 'sorting' (as a note on 3.11+, folded into args on 3.10)
+        notes = "\n".join(getattr(excinfo.value, "__notes__", []))
+        rendered = f"{excinfo.value}\n{notes}"
+        assert "plan 1" in rendered
+        assert "'sorting'" in rendered
+
 
 class TestReportSerialization:
     def test_json_round_trip(self, instance):

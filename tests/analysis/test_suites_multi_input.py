@@ -6,6 +6,7 @@ import repro
 from repro.analysis.suites import (
     ALL_SUITE_TASKS,
     DEFAULT_SUITE_TASKS,
+    GRAPH_SUITE_TASKS,
     TUPLE_SUITE_TASKS,
     instance_grid,
     standard_plans,
@@ -18,8 +19,10 @@ from repro.topology.builders import two_level
 
 class TestSuiteGrid:
     def test_all_tasks_cover_the_catalog(self):
-        assert set(ALL_SUITE_TASKS) == set(DEFAULT_SUITE_TASKS) | set(
-            TUPLE_SUITE_TASKS
+        assert set(ALL_SUITE_TASKS) == (
+            set(DEFAULT_SUITE_TASKS)
+            | set(TUPLE_SUITE_TASKS)
+            | set(GRAPH_SUITE_TASKS)
         )
         for task in ALL_SUITE_TASKS:
             assert repro.get_task(task).name == task

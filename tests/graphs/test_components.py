@@ -1,0 +1,172 @@
+"""Tests for the connected-components task and its protocols."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import ProtocolError
+from repro.graphs import (
+    PlacedGraph,
+    components_lower_bound,
+    reference_components,
+    run_components,
+)
+from repro.graphs.model import encode_edges
+from repro.data.distribution import Distribution
+from repro.topology.builders import star, two_level
+
+PROTOCOLS = ("tree", "uniform-hash", "gather")
+
+
+@pytest.fixture
+def instance():
+    tree = two_level([3, 3], leaf_bandwidth=[4.0, 1.0], uplink_bandwidth=2.0)
+    edges = repro.planted_components_graph(3, 20, seed=5)
+    graph = PlacedGraph.from_edges(tree, edges, policy="zipf", seed=6)
+    return tree, graph
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_outputs_match_union_find(self, instance, protocol):
+        tree, graph = instance
+        report = run_components(tree, graph, protocol=protocol, seed=7)
+        expected = reference_components(graph.edges())
+        found = {}
+        for step in report.supersteps:
+            assert step.cost >= 0
+        # re-run at engine level to inspect outputs (verify=True already
+        # checked them; this asserts the exact labelling independently)
+        from repro.engine import run_with_result
+
+        _, result = run_with_result(
+            "connected-components",
+            tree,
+            graph.distribution,
+            protocol=protocol,
+            seed=7,
+        )
+        for labels in result.outputs.values():
+            found.update(labels)
+        assert found == expected
+        assert report.converged
+
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_single_edge(self, protocol):
+        tree = star(3)
+        graph = PlacedGraph.from_edges(
+            tree, np.array([[4, 2]], dtype=np.int64)
+        )
+        report = run_components(tree, graph, protocol=protocol)
+        assert report.converged
+        assert report.num_vertices == 2
+
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_empty_graph(self, protocol):
+        tree = star(3)
+        empty = Distribution({node: {"E": []} for node in tree.compute_nodes})
+        report = run_components(tree, empty, protocol=protocol)
+        assert report.cost == 0
+        assert report.converged
+        assert report.num_vertices == 0
+
+    def test_seed_reproducible(self, instance):
+        tree, graph = instance
+        first = run_components(tree, graph, protocol="tree", seed=3)
+        second = run_components(tree, graph, protocol="tree", seed=3)
+        assert first.cost == second.cost
+        assert first.rounds == second.rounds
+
+    def test_convergence_cap_raises(self, instance):
+        tree, graph = instance
+        with pytest.raises(ProtocolError):
+            run_components(
+                tree, graph, protocol="tree", seed=3, max_supersteps=1
+            )
+
+
+class TestEngineIntegration:
+    def test_registered_with_aliases(self):
+        spec = repro.get_task("cc")
+        assert spec.name == "connected-components"
+        assert spec.default_protocol == "tree"
+        names = set(repro.protocols_for("connected-components"))
+        assert {"tree", "uniform-hash", "gather"} <= names
+
+    def test_engine_run_reports_bound(self, instance):
+        tree, graph = instance
+        report = repro.run(
+            "connected-components", tree, graph.distribution, seed=1
+        )
+        assert report.task == "connected-components"
+        assert report.lower_bound > 0
+        assert report.cost >= report.lower_bound
+
+    def test_verifier_rejects_wrong_labelling(self, instance):
+        tree, graph = instance
+        from repro.graphs.components import _verify_components
+        from repro.sim.protocol import ProtocolResult
+        from repro.sim.ledger import CostLedger
+
+        bogus = ProtocolResult(
+            protocol="bogus",
+            rounds=1,
+            cost=0.0,
+            cost_bits=0.0,
+            ledger=CostLedger(tree),
+            outputs={next(iter(tree.compute_nodes)): {0: 99}},
+            meta={"tag": "E"},
+        )
+        with pytest.raises(ProtocolError):
+            _verify_components(tree, graph.distribution, bogus)
+
+
+class TestCostModel:
+    def test_tree_beats_uniform_hash(self, instance):
+        tree, graph = instance
+        aware = run_components(tree, graph, protocol="tree", seed=2)
+        base = run_components(tree, graph, protocol="uniform-hash", seed=2)
+        assert aware.cost < base.cost
+
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_cost_at_least_lower_bound(self, instance, protocol):
+        tree, graph = instance
+        report = run_components(tree, graph, protocol=protocol, seed=2)
+        assert report.cost >= report.lower_bound
+
+    def test_supersteps_sum_to_totals(self, instance):
+        tree, graph = instance
+        report = run_components(tree, graph, protocol="tree", seed=2)
+        assert report.cost == pytest.approx(
+            sum(step.cost for step in report.supersteps)
+        )
+        assert report.rounds == sum(step.rounds for step in report.supersteps)
+        # the shuffle steps are registered group-by runs
+        shuffles = [
+            step
+            for step in report.supersteps
+            if step.task == "groupby-aggregate"
+        ]
+        assert shuffles and all(s.protocol == "tree-groupby" for s in shuffles)
+
+    def test_lower_bound_counts_spanning_components(self):
+        # two components, each entirely on one side of the uplink: the
+        # bound must be zero; one spanning component: 1 / (2 w), the
+        # full-duplex split halving the forced per-direction crossings.
+        tree = two_level([1, 1], uplink_bandwidth=0.5, name="pair")
+        nodes = sorted(tree.compute_nodes, key=str)
+        local = Distribution(
+            {
+                nodes[0]: {"E": encode_edges([0], [1])},
+                nodes[1]: {"E": encode_edges([5], [6])},
+            }
+        )
+        assert components_lower_bound(tree, local).value == 0.0
+        spanning = Distribution(
+            {
+                nodes[0]: {"E": encode_edges([0], [1])},
+                nodes[1]: {"E": encode_edges([1], [2])},
+            }
+        )
+        bound = components_lower_bound(tree, spanning)
+        assert bound.value == pytest.approx(1 / (2 * 0.5))

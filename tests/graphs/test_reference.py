@@ -1,0 +1,64 @@
+"""Tests for the single-machine graph references."""
+
+import numpy as np
+
+from repro.graphs import (
+    reference_components,
+    reference_degrees,
+    reference_triangle_count,
+)
+
+
+class TestReferenceComponents:
+    def test_empty(self):
+        assert reference_components(np.empty((0, 2), np.int64)) == {}
+
+    def test_two_components(self):
+        edges = np.array([[1, 2], [2, 3], [7, 9]], dtype=np.int64)
+        labels = reference_components(edges)
+        assert labels == {1: 1, 2: 1, 3: 1, 7: 7, 9: 7}
+
+    def test_label_is_component_minimum(self):
+        edges = np.array([[5, 4], [4, 9], [9, 0]], dtype=np.int64)
+        labels = reference_components(edges)
+        assert set(labels.values()) == {0}
+
+    def test_chain(self):
+        chain = np.stack(
+            [np.arange(0, 50), np.arange(1, 51)], axis=1
+        ).astype(np.int64)
+        labels = reference_components(chain)
+        assert all(label == 0 for label in labels.values())
+        assert len(labels) == 51
+
+
+class TestReferenceTriangles:
+    def test_no_triangle(self):
+        edges = np.array([[0, 1], [1, 2], [2, 3]], dtype=np.int64)
+        assert reference_triangle_count(edges) == 0
+
+    def test_single_triangle_any_orientation(self):
+        edges = np.array([[2, 0], [0, 1], [1, 2]], dtype=np.int64)
+        assert reference_triangle_count(edges) == 1
+
+    def test_complete_graph(self):
+        n = 7
+        pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        edges = np.array(pairs, dtype=np.int64)
+        assert reference_triangle_count(edges) == n * (n - 1) * (n - 2) // 6
+
+    def test_duplicate_edges_count_once(self):
+        edges = np.array(
+            [[0, 1], [1, 0], [1, 2], [0, 2]], dtype=np.int64
+        )
+        assert reference_triangle_count(edges) == 1
+
+
+class TestReferenceDegrees:
+    def test_counts_both_endpoints(self):
+        edges = np.array([[0, 1], [1, 2]], dtype=np.int64)
+        assert reference_degrees(edges).tolist() == [1, 2, 1]
+
+    def test_explicit_vertex_space(self):
+        edges = np.array([[0, 1]], dtype=np.int64)
+        assert reference_degrees(edges, num_vertices=4).tolist() == [1, 1, 0, 0]

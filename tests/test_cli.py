@@ -44,6 +44,64 @@ class TestCli:
         assert "equijoin" in out
         assert "groupby-aggregate" in out
 
+    def test_table1_covers_graph_tasks(self, capsys):
+        assert main(["--r-size", "150", "--s-size", "150", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "connected-components" in out
+        assert "triangle-count" in out
+
+    def test_protocols_lists_graph_tasks(self, capsys):
+        assert main(["protocols"]) == 0
+        out = capsys.readouterr().out
+        assert "connected-components" in out
+        assert "triangle-count" in out
+
+    def test_protocols_json(self, capsys):
+        import json
+
+        assert main(["--json", "protocols"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        entries = {(row["task"], row["name"]) for row in payload}
+        assert ("connected-components", "tree") in entries
+        assert ("triangle-count", "optimized") in entries
+        assert all("kind" in row and "description" in row for row in payload)
+
+    def test_compare_json(self, capsys):
+        import json
+
+        assert (
+            main(
+                ["--r-size", "300", "--s-size", "300", "--json", "compare"]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) == 6  # three tasks x (aware, baseline)
+        assert {row["task"] for row in payload} == {
+            "set-intersection",
+            "cartesian-product",
+            "sorting",
+        }
+        assert all("cost" in row and "ratio" in row for row in payload)
+
+
+class TestGraphsCommand:
+    def test_graphs_table(self, capsys):
+        assert main(["--edges", "200", "graphs"]) == 0
+        out = capsys.readouterr().out
+        assert "Graph workloads" in out
+        assert "cc speedup" in out
+        assert "star-hetero(8)" in out
+
+    def test_graphs_json(self, capsys):
+        import json
+
+        assert main(["--edges", "200", "--json", "graphs"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        tasks = {row["task"] for row in payload}
+        assert tasks == {"connected-components", "triangle-count"}
+        assert all("supersteps" in row for row in payload)
+
 
 class TestPlanCommand:
     def test_plan_explain_runs_chain_on_suite(self, capsys):

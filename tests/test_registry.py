@@ -192,4 +192,4 @@ class TestLowerBoundOpts:
 
         direct = groupby_lower_bound(tree, dist, payload_bits=32)
         assert report.lower_bound == pytest.approx(direct.value)
-        assert direct.value == pytest.approx(8.0)
+        assert direct.value == pytest.approx(4.0)
