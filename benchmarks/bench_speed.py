@@ -1,0 +1,69 @@
+"""Experiment S1 — wall-clock speed of the bulk-exchange substrate.
+
+Not a paper figure: this guards the simulator's own performance, the
+ROADMAP's "fast as the hardware allows" north star.  Large hashed
+shuffles (the uniform-hash relational shuffle and the
+connected-components superstep shuffle, 10^6 elements on 64- and
+256-node fat trees) are timed under the production ``bulk`` exchange
+mode and the legacy ``per-send`` mode, with target assignment
+precomputed so only the round itself — grouping, delivery,
+accounting — is measured.
+
+Claims checked:
+
+* the bulk path produces **identical** per-edge ledger loads, received
+  counts, and per-node storage to the per-send path on every case
+  (exact equality, not approximate);
+* bulk is at least ``3x`` faster on the full grid (measured 5-30x);
+  under ``BENCH_SMALL=1`` a conservative ``1.3x`` timing budget still
+  fails CI if a per-element Python loop sneaks back into the hot path;
+* each run appends to the ``BENCH_SPEED.json`` perf trajectory at the
+  repo root, so regressions are visible across PRs.
+
+``BENCH_SMALL=1`` shrinks the grid for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from benchmarks.conftest import record_table
+from repro.analysis.speed import (
+    FULL_MIN_SPEEDUP,
+    SMALL_MIN_SPEEDUP,
+    check_cases,
+    run_speed_suite,
+    speed_table,
+    write_trajectory,
+)
+
+SMALL = bool(os.environ.get("BENCH_SMALL"))
+SEED = 7
+
+
+@pytest.mark.benchmark(group="speed")
+def test_bulk_exchange_speedup_and_equivalence(benchmark):
+    cases = benchmark.pedantic(
+        lambda: run_speed_suite(small=SMALL, seed=SEED),
+        rounds=1,
+        iterations=1,
+    )
+    check_cases(
+        cases,
+        min_speedup=SMALL_MIN_SPEEDUP if SMALL else FULL_MIN_SPEEDUP,
+    )
+    trajectory = write_trajectory(cases, grid="small" if SMALL else "full")
+    headers, rows = speed_table(cases)
+    record_table(
+        "Speed — bulk exchange vs legacy per-send path "
+        f"(grid={'small' if SMALL else 'full'}, seed={SEED}, "
+        f"trajectory: {trajectory.name})",
+        headers,
+        rows,
+    )
+    for case in cases:
+        benchmark.extra_info[f"{case.topology}.{case.name}.speedup"] = round(
+            case.speedup, 2
+        )

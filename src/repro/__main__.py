@@ -8,6 +8,7 @@ Usage::
     python -m repro protocols           # the registered protocol catalog
     python -m repro plan --explain      # planner vs gather/worst-order
     python -m repro graphs              # graph workloads vs baselines
+    python -m repro bench speed         # bulk-exchange A/B wall-clock
     python -m repro table1 --r-size 2000 --s-size 2000 --seed 7
 
 Each command prints the same plain-text tables the benchmark harness
@@ -51,13 +52,14 @@ def _cmd_table1(args: argparse.Namespace) -> int:
         print(summarize_reports(reports, title="All runs"))
         print()
     summary = aggregate(reports)
+    fmt = lambda value: "n/a" if value is None else f"{value:.2f}"
     rows = [
         [
             task,
             stats["runs"],
             stats["max_rounds"],
-            f"{stats['max_ratio']:.2f}",
-            f"{stats['mean_ratio']:.2f}",
+            fmt(stats["max_ratio"]),
+            fmt(stats["mean_ratio"]),
         ]
         for task, stats in summary.items()
     ]
@@ -259,6 +261,50 @@ def _cmd_graphs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Substrate benchmarks: ``bench speed`` is the A/B exchange harness."""
+    from repro.analysis.speed import (
+        FULL_MIN_SPEEDUP,
+        SMALL_MIN_SPEEDUP,
+        check_cases,
+        run_speed_suite,
+        speed_table,
+        write_trajectory,
+    )
+
+    if args.subcommand != "speed":
+        print(
+            f"error: unknown bench subcommand {args.subcommand!r}; "
+            "available: speed",
+            file=sys.stderr,
+        )
+        return 2
+    cases = run_speed_suite(small=args.small, seed=args.seed)
+    check_cases(
+        cases,
+        min_speedup=SMALL_MIN_SPEEDUP if args.small else FULL_MIN_SPEEDUP,
+    )
+    trajectory = write_trajectory(
+        cases, grid="small" if args.small else "full"
+    )
+    if args.json:
+        print(json.dumps([case.to_dict() for case in cases], indent=2))
+        return 0
+    headers, rows = speed_table(cases)
+    print(
+        render_table(
+            headers,
+            rows,
+            title=(
+                "Bulk exchange vs legacy per-send path "
+                f"(grid={'small' if args.small else 'full'}, "
+                f"seed={args.seed}; trajectory appended to {trajectory})"
+            ),
+        )
+    )
+    return 0
+
+
 def _cmd_protocols(args: argparse.Namespace) -> int:
     if args.json:
         payload = [
@@ -348,11 +394,34 @@ def main(argv: list[str] | None = None) -> int:
         help="protocols/compare/graphs: emit JSON instead of a text table",
     )
     parser.add_argument(
+        "--small",
+        action="store_true",
+        help="bench: shrink the grid to CI-smoke sizes",
+    )
+    parser.add_argument(
         "command",
-        choices=["table1", "compare", "topology", "protocols", "plan", "graphs"],
+        choices=[
+            "table1",
+            "compare",
+            "topology",
+            "protocols",
+            "plan",
+            "graphs",
+            "bench",
+        ],
         help="which reproduction to run",
     )
+    parser.add_argument(
+        "subcommand",
+        nargs="?",
+        default=None,
+        help="bench: which benchmark to run (currently only 'speed')",
+    )
     args = parser.parse_args(argv)
+    if args.command != "bench" and args.subcommand is not None:
+        parser.error(f"unrecognized arguments: {args.subcommand}")
+    if args.command == "bench" and args.subcommand is None:
+        args.subcommand = "speed"
     handlers = {
         "table1": _cmd_table1,
         "compare": _cmd_compare,
@@ -360,6 +429,7 @@ def main(argv: list[str] | None = None) -> int:
         "protocols": _cmd_protocols,
         "plan": _cmd_plan,
         "graphs": _cmd_graphs,
+        "bench": _cmd_bench,
     }
     try:
         return handlers[args.command](args)

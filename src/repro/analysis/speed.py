@@ -1,0 +1,324 @@
+"""Wall-clock benchmark of the bulk-exchange substrate (A/B harness).
+
+The simulator's hot path is the hashed shuffle: every element of a
+relation (or every hash-to-min message of a graph superstep) is routed
+to a hashed destination through one communication round.  This module
+times exactly that round — target assignment and local data are
+precomputed, because they are identical work in both implementations —
+under the two exchange modes the cluster supports:
+
+* ``bulk`` — the production path: one :meth:`RoundContext.exchange`
+  call per node, grouped with one stable argsort per round and charged
+  through the vectorized tree-flow accountant;
+* ``per-send`` — the legacy path: one boolean-mask scan and one
+  ``send`` per destination, with per-transfer accounting.
+
+Both modes must produce *identical* per-edge ledger loads, per-node
+received counts, and per-node storage contents; the harness verifies
+this on every case before reporting the speedup.  Results accumulate in
+a ``BENCH_*.json`` perf-trajectory file (one run entry per invocation)
+so future PRs can see whether the hot path regressed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.generators import random_distribution, random_graph_distribution
+from repro.errors import AnalysisError
+from repro.graphs.model import VERTEX_BITS, decode_edges
+from repro.queries.tuples import encode_tuples
+from repro.sim.cluster import Cluster
+from repro.topology.builders import two_level
+from repro.topology.tree import TreeTopology
+from repro.util.hashing import WeightedNodeHasher
+from repro.util.seeding import derive_seed
+
+#: Default trajectory file name; lives at the repo root by convention.
+TRAJECTORY_FILE = "BENCH_SPEED.json"
+
+#: Minimum speedups the harness asserts.  Full grid: the headline >=3x
+#: claim.  Small grid (CI smoke): a conservative timing budget — a
+#: regression to per-element Python loops lands far below 1x, so this
+#: still fails CI without being flaky on noisy runners.
+FULL_MIN_SPEEDUP = 3.0
+SMALL_MIN_SPEEDUP = 1.3
+
+
+@dataclass
+class SpeedCase:
+    """One timed shuffle: a topology, a prepared round, and its results."""
+
+    name: str
+    topology: str
+    num_compute_nodes: int
+    num_elements: int
+    per_send_seconds: float = 0.0
+    bulk_seconds: float = 0.0
+    ledger_identical: bool = False
+    cost_elements: float = 0.0
+
+    @property
+    def speedup(self) -> float:
+        if self.bulk_seconds <= 0:
+            return float("inf")
+        return self.per_send_seconds / self.bulk_seconds
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "topology": self.topology,
+            "nodes": self.num_compute_nodes,
+            "elements": self.num_elements,
+            "per_send_s": round(self.per_send_seconds, 6),
+            "bulk_s": round(self.bulk_seconds, 6),
+            "speedup": round(self.speedup, 2),
+            "cost_elements": self.cost_elements,
+            "ledger_identical": self.ledger_identical,
+        }
+
+
+def fat_tree(num_racks: int, *, rack_size: int | None = None) -> TreeTopology:
+    """A symmetric two-level fat tree with ``num_racks**2`` leaves."""
+    size = num_racks if rack_size is None else rack_size
+    return two_level(
+        [size] * num_racks,
+        leaf_bandwidth=2.0,
+        uplink_bandwidth=4.0,
+        name=f"fat-tree({num_racks}x{size})",
+    )
+
+
+def _prepare_uniform_hash(
+    tree: TreeTopology, num_elements: int, seed: int
+) -> tuple[list, str]:
+    """The uniform-hash relational shuffle: elements hashed to nodes."""
+    distribution = random_distribution(
+        tree,
+        r_size=num_elements,
+        s_size=0,
+        policy="proportional",
+        seed=seed,
+    )
+    cluster = Cluster(tree, distribution)
+    computes = cluster.compute_order
+    hasher = WeightedNodeHasher(
+        computes, [1.0] * len(computes), derive_seed(seed, "bench-speed")
+    )
+    prepared = []
+    for node in computes:
+        local = cluster.local(node, "R")
+        if len(local):
+            prepared.append((node, hasher.assign_indices(local), local))
+    return prepared, "uniform-hash shuffle"
+
+
+def _prepare_components(
+    tree: TreeTopology, num_elements: int, seed: int
+) -> tuple[list, str]:
+    """The connected-components superstep shuffle (uniform-hash flavour).
+
+    One hash-to-min message per directed edge plus one identity message
+    per locally known vertex, exactly what the textbook MPC baseline
+    ships every superstep; messages are (vertex, label) tuples packed
+    on the 64-bit substrate and hashed to a uniform owner by vertex.
+    The graph is sized so the shuffle moves ~``num_elements`` messages
+    (empirically ~4 messages per edge at the default density).
+    """
+    distribution = random_graph_distribution(
+        tree,
+        num_edges=max(1_000, num_elements // 4),
+        policy="proportional",
+        seed=seed,
+    )
+    cluster = Cluster(tree, distribution)
+    computes = cluster.compute_order
+    hasher = WeightedNodeHasher(
+        computes, [1.0] * len(computes), derive_seed(seed, "bench-speed-cc")
+    )
+    prepared = []
+    for node in computes:
+        fragment = cluster.local(node, "E")
+        if not len(fragment):
+            continue
+        lo, hi = decode_edges(fragment)
+        src = np.concatenate([lo, hi])
+        dst = np.concatenate([hi, lo])
+        verts = np.unique(src)
+        keys = np.concatenate([dst, verts])
+        values = np.concatenate([src, verts])  # superstep 1: label == id
+        payload = encode_tuples(keys, values, payload_bits=VERTEX_BITS)
+        prepared.append((node, hasher.assign_indices(keys), payload))
+    return prepared, "connected-components superstep shuffle"
+
+
+def _run_round(
+    tree: TreeTopology, prepared: list, mode: str, tag: str = "recv"
+) -> tuple[float, Cluster]:
+    cluster = Cluster(tree, exchange_mode=mode)
+    start = time.perf_counter()
+    with cluster.round() as ctx:
+        for node, targets, payload in prepared:
+            ctx.exchange(node, targets, payload, tag=tag)
+    return time.perf_counter() - start, cluster
+
+
+def _equivalent(a: Cluster, b: Cluster, tag: str = "recv") -> bool:
+    if a.ledger.round_loads(0) != b.ledger.round_loads(0):
+        return False
+    for node in a.compute_order:
+        if a.received_elements(node) != b.received_elements(node):
+            return False
+        if not np.array_equal(a.local(node, tag), b.local(node, tag)):
+            return False
+    return True
+
+
+def time_case(
+    name: str,
+    tree: TreeTopology,
+    prepared: list,
+    *,
+    repeats: int = 3,
+) -> SpeedCase:
+    """Best-of-``repeats`` round times in both modes, plus equivalence."""
+    num_elements = int(sum(len(payload) for _, _, payload in prepared))
+    case = SpeedCase(
+        name=name,
+        topology=tree.name,
+        num_compute_nodes=tree.num_compute_nodes,
+        num_elements=num_elements,
+    )
+    bulk_cluster: Cluster | None = None
+    per_send_cluster: Cluster | None = None
+    bulk_best = per_send_best = float("inf")
+    for _ in range(repeats):
+        elapsed, bulk_cluster = _run_round(tree, prepared, "bulk")
+        bulk_best = min(bulk_best, elapsed)
+        elapsed, per_send_cluster = _run_round(tree, prepared, "per-send")
+        per_send_best = min(per_send_best, elapsed)
+    case.bulk_seconds = bulk_best
+    case.per_send_seconds = per_send_best
+    case.ledger_identical = _equivalent(bulk_cluster, per_send_cluster)
+    case.cost_elements = bulk_cluster.ledger.total_cost()
+    return case
+
+
+def run_speed_suite(
+    *, small: bool = False, seed: int = 7, repeats: int = 5
+) -> list[SpeedCase]:
+    """Time the two hot-path shuffles across the fat-tree grid."""
+    if small:
+        grids = [(8,)]  # 64 nodes
+        num_elements = 200_000
+    else:
+        grids = [(8,), (16,)]  # 64 and 256 nodes
+        num_elements = 1_000_000
+    cases = []
+    for (num_racks,) in grids:
+        tree = fat_tree(num_racks)
+        prepared, label = _prepare_uniform_hash(tree, num_elements, seed)
+        cases.append(
+            time_case(f"{label}", tree, prepared, repeats=repeats)
+        )
+        prepared, label = _prepare_components(tree, num_elements, seed)
+        cases.append(
+            time_case(f"{label}", tree, prepared, repeats=repeats)
+        )
+    return cases
+
+
+def check_cases(cases: list[SpeedCase], *, min_speedup: float) -> None:
+    """The harness's two guarantees: exact accounting, bounded slowdown."""
+    for case in cases:
+        if not case.ledger_identical:
+            raise AnalysisError(
+                f"{case.name} on {case.topology}: bulk exchange diverged "
+                "from the per-send path (ledger/storage mismatch)"
+            )
+        if case.speedup < min_speedup:
+            raise AnalysisError(
+                f"{case.name} on {case.topology}: speedup "
+                f"{case.speedup:.2f}x under the {min_speedup:.1f}x budget "
+                f"(bulk {case.bulk_seconds:.3f}s vs per-send "
+                f"{case.per_send_seconds:.3f}s) — did a per-element "
+                "Python loop sneak back into the hot path?"
+            )
+
+
+def default_trajectory_path() -> Path:
+    """Resolve the trajectory file: env override, repo root, else cwd.
+
+    The convention keeps ``BENCH_*.json`` at the repo root; when the
+    package runs from a checkout (``src/repro/analysis/speed.py``) that
+    root is three levels up, recognisable by its ``pyproject.toml``.
+    An installed package falls back to the working directory.
+    """
+    override = os.environ.get("BENCH_SPEED_JSON")
+    if override:
+        return Path(override)
+    root = Path(__file__).resolve().parents[3]
+    if (root / "pyproject.toml").exists():
+        return root / TRAJECTORY_FILE
+    return Path(TRAJECTORY_FILE)  # pragma: no cover - installed usage
+
+
+def write_trajectory(
+    cases: list[SpeedCase],
+    *,
+    grid: str,
+    path: str | os.PathLike | None = None,
+    max_runs: int = 50,
+) -> Path:
+    """Append one run entry to the ``BENCH_*.json`` trajectory file."""
+    path = Path(path) if path is not None else default_trajectory_path()
+    payload: dict = {"benchmark": "bench_speed", "unit": "seconds", "runs": []}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+            if isinstance(existing.get("runs"), list):
+                payload["runs"] = existing["runs"]
+        except (ValueError, OSError):  # pragma: no cover - corrupt file
+            pass
+    payload["runs"].append(
+        {
+            "date": time.strftime("%Y-%m-%d"),
+            "grid": grid,
+            "cases": [case.to_dict() for case in cases],
+        }
+    )
+    payload["runs"] = payload["runs"][-max_runs:]
+    path.write_text(json.dumps(payload, indent=2, allow_nan=False) + "\n")
+    return path
+
+
+def speed_table(cases: list[SpeedCase]) -> tuple[list[str], list[list]]:
+    """Headers and rows for the text-table renderers."""
+    headers = [
+        "shuffle",
+        "topology",
+        "nodes",
+        "elements",
+        "per-send",
+        "bulk",
+        "speedup",
+    ]
+    rows = [
+        [
+            case.name,
+            case.topology,
+            case.num_compute_nodes,
+            case.num_elements,
+            f"{case.per_send_seconds * 1000:.1f}ms",
+            f"{case.bulk_seconds * 1000:.1f}ms",
+            f"{case.speedup:.2f}x",
+        ]
+        for case in cases
+    ]
+    return headers, rows

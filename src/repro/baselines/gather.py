@@ -54,7 +54,7 @@ def gather_intersect(
         target = _pick_target(tree, distribution, (r_tag, s_tag))
     cluster = Cluster(tree, distribution, bits_per_element=bits_per_element)
     with cluster.round() as ctx:
-        for node in sorted(tree.compute_nodes, key=node_sort_key):
+        for node in cluster.compute_order:
             if node == target:
                 continue
             for tag in (r_tag, s_tag):
@@ -101,7 +101,7 @@ def gather_sort(
         target = _pick_target(tree, distribution, (tag,))
     cluster = Cluster(tree, distribution, bits_per_element=bits_per_element)
     with cluster.round() as ctx:
-        for node in sorted(tree.compute_nodes, key=node_sort_key):
+        for node in cluster.compute_order:
             if node == target:
                 continue
             local = cluster.local(node, tag)
@@ -173,7 +173,7 @@ def gather_equijoin(
         target = _pick_target(tree, distribution, (r_tag, s_tag))
     cluster = Cluster(tree, distribution, bits_per_element=bits_per_element)
     with cluster.round() as ctx:
-        for node in sorted(tree.compute_nodes, key=node_sort_key):
+        for node in cluster.compute_order:
             if node == target:
                 continue
             for tag in (r_tag, s_tag):
@@ -227,7 +227,7 @@ def gather_groupby(
         target = _pick_target(tree, distribution, (tag,))
     cluster = Cluster(tree, distribution, bits_per_element=bits_per_element)
     with cluster.round() as ctx:
-        for node in sorted(tree.compute_nodes, key=node_sort_key):
+        for node in cluster.compute_order:
             if node == target:
                 continue
             local = cluster.local(node, tag)

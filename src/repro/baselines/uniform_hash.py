@@ -59,11 +59,9 @@ def uniform_hash_intersect(
                 local = cluster.local(node, tag)
                 if not len(local):
                     continue
-                targets = hasher.assign_indices(local)
-                for index in np.unique(targets):
-                    ctx.send(
-                        node, computes[index], local[targets == index], tag=recv
-                    )
+                ctx.exchange(
+                    node, hasher.assign_indices(local), local, tag=recv
+                )
     outputs = {
         v: np.intersect1d(cluster.local(v, _R_RECV), cluster.local(v, _S_RECV))
         for v in computes
@@ -111,11 +109,9 @@ def uniform_hash_equijoin(
                 if not len(local):
                     continue
                 keys = np.asarray(local, dtype=np.int64) >> payload_bits
-                targets = hasher.assign_indices(keys)
-                for index in np.unique(targets):
-                    ctx.send(
-                        node, computes[index], local[targets == index], tag=recv
-                    )
+                ctx.exchange(
+                    node, hasher.assign_indices(keys), local, tag=recv
+                )
     outputs = {
         v: local_join(
             cluster.local(v, _JOIN_R_RECV),
@@ -176,11 +172,9 @@ def uniform_hash_groupby(
                 payload = encode_tuples(keys, values, payload_bits=payload_bits)
             else:
                 payload = local
-            targets = hasher.assign_indices(keys)
-            for index in np.unique(targets):
-                ctx.send(
-                    v, computes[index], payload[targets == index], tag=_AGG_RECV
-                )
+            ctx.exchange(
+                v, hasher.assign_indices(keys), payload, tag=_AGG_RECV
+            )
     outputs: dict = {}
     for v in computes:
         keys, values = decode_tuples(

@@ -146,7 +146,7 @@ def gather_all_pairs(
     Optimal whenever a single node already holds more than half the data
     (Lemma 7's first case) or is the G-dagger root (Section 4.1).
     """
-    computes = sorted(cluster.tree.compute_nodes, key=str)
+    computes = cluster.compute_order
     with cluster.round() as ctx:
         for node in computes:
             if node == target:

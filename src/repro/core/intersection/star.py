@@ -20,6 +20,7 @@ from repro.registry import register_protocol
 from repro.sim.cluster import Cluster
 from repro.sim.protocol import ProtocolResult
 from repro.topology.tree import TreeTopology, node_sort_key
+from repro.util.grouping import iter_groups
 from repro.util.hashing import WeightedNodeHasher
 from repro.util.seeding import derive_seed
 
@@ -90,8 +91,7 @@ def star_intersect(
             r_local = cluster.local(v, small_tag)
             if len(r_local) and hasher is not None:
                 targets = hasher.assign_indices(r_local)
-                for index in np.unique(targets):
-                    chunk = r_local[targets == index]
+                for index, chunk in iter_groups(targets, r_local):
                     destinations = beta_set | {computes[index]}
                     ctx.multicast(v, destinations, chunk, tag=_R_RECV)
             elif len(r_local) and beta_set:
@@ -99,14 +99,12 @@ def star_intersect(
             if v not in beta_set and hasher is not None:
                 s_local = cluster.local(v, large_tag)
                 if len(s_local):
-                    targets = hasher.assign_indices(s_local)
-                    for index in np.unique(targets):
-                        ctx.send(
-                            v,
-                            computes[index],
-                            s_local[targets == index],
-                            tag=_S_RECV,
-                        )
+                    ctx.exchange(
+                        v,
+                        hasher.assign_indices(s_local),
+                        s_local,
+                        tag=_S_RECV,
+                    )
 
     outputs: dict = {}
     for v in computes:

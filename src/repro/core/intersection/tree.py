@@ -23,6 +23,7 @@ from repro.registry import register_protocol
 from repro.sim.cluster import Cluster
 from repro.sim.protocol import ProtocolResult
 from repro.topology.tree import TreeTopology, node_sort_key
+from repro.util.grouping import iter_groups
 from repro.util.hashing import WeightedNodeHasher
 from repro.util.seeding import derive_seed
 
@@ -112,8 +113,7 @@ def tree_intersect(
                 unique_rows, inverse = np.unique(
                     target_matrix, axis=0, return_inverse=True
                 )
-                for row_id in range(len(unique_rows)):
-                    chunk = r_local[inverse == row_id]
+                for row_id, chunk in iter_groups(inverse, r_local):
                     destinations = {
                         computes[j] for j in unique_rows[row_id]
                     }
@@ -123,12 +123,13 @@ def tree_intersect(
                 hasher = hashers[block_of[v]]
                 if hasher is None:  # pragma: no cover - weight>0 since S_v>0
                     continue
-                members = block_members[block_of[v]]
-                targets = hasher.assign_indices(s_local)
-                for index in np.unique(targets):
-                    ctx.send(
-                        v, members[index], s_local[targets == index], tag=_S_RECV
-                    )
+                ctx.exchange(
+                    v,
+                    hasher.assign_indices(s_local),
+                    s_local,
+                    tag=_S_RECV,
+                    nodes=block_members[block_of[v]],
+                )
 
     outputs: dict = {}
     for v in computes:

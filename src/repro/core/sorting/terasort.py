@@ -127,10 +127,7 @@ def terasort(
             if not len(local):
                 continue
             intervals = np.searchsorted(splitters, local, side="right")
-            for index in np.unique(intervals):
-                ctx.send(
-                    node, order[index], local[intervals == index], tag=_FINAL
-                )
+            ctx.exchange(node, intervals, local, tag=_FINAL, nodes=order)
 
     outputs = {v: np.sort(cluster.local(v, _FINAL)) for v in order}
     return ProtocolResult.from_ledger(

@@ -180,10 +180,7 @@ def weighted_terasort(
             if not len(local):
                 continue
             intervals = np.searchsorted(splitters, local, side="right")
-            for index in np.unique(intervals):
-                ctx.send(
-                    node, heavy[index], local[intervals == index], tag=_FINAL
-                )
+            ctx.exchange(node, intervals, local, tag=_FINAL, nodes=heavy)
 
     outputs = {v: np.empty(0, np.int64) for v in order}
     for node in heavy:

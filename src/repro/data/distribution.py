@@ -72,14 +72,24 @@ class Distribution:
         return frozenset(self._fragments)
 
     def fragment(self, node: NodeId, tag: str) -> np.ndarray:
-        """The fragment of relation ``tag`` initially on ``node`` (copy)."""
-        return self._fragments.get(node, {}).get(tag, np.empty(0, np.int64)).copy()
+        """The fragment of relation ``tag`` initially on ``node`` (copy).
+
+        Tags are stored under their string form (``__init__`` and the
+        cluster both normalize with ``str``), so lookups normalize too —
+        a non-string tag must find the data it was stored under, not
+        silently read as empty.
+        """
+        return (
+            self._fragments.get(node, {})
+            .get(str(tag), np.empty(0, np.int64))
+            .copy()
+        )
 
     def size(self, node: NodeId, tag: str | None = None) -> int:
         """``|R_v|`` for one relation, or ``N_v`` summed over relations."""
         relations = self._fragments.get(node, {})
         if tag is not None:
-            return int(len(relations.get(tag, ())))
+            return int(len(relations.get(str(tag), ())))
         return int(sum(len(f) for f in relations.values()))
 
     def sizes(self, tag: str | None = None) -> dict:
@@ -92,6 +102,7 @@ class Distribution:
 
     def relation(self, tag: str) -> np.ndarray:
         """All elements of relation ``tag``, concatenated in node order."""
+        tag = str(tag)
         parts = [
             self._fragments[node].get(tag, np.empty(0, np.int64))
             for node in sorted(self._fragments, key=node_sort_key)

@@ -49,6 +49,7 @@ from repro.registry import register_protocol, register_task
 from repro.report import GraphRunReport, RunReport
 from repro.sim.protocol import ProtocolResult
 from repro.topology.tree import NodeId, TreeTopology, node_sort_key
+from repro.util.grouping import group_slices
 
 _LABEL_RECV = "cc.labels.recv"
 _GATHER_RECV = "cc.gather.recv"
@@ -244,7 +245,24 @@ def _hash_to_min(
         for vertex in view.verts.tolist():
             subscribers.setdefault(vertex, set()).add(node)
     all_vertices = sorted(subscribers)
-    prev_min = {v: v for v in all_vertices}  # identity is globally known
+    vert_arr = np.asarray(all_vertices, dtype=np.int64)
+    # Return legs group label updates by *subscriber set*: deduplicate
+    # the sets once (many vertices share one), so each superstep only
+    # touches arrays — a subset id per vertex, per-node membership flags
+    # per subset — instead of per-vertex Python set algebra.
+    subset_ids: dict[frozenset, int] = {}
+    vertex_subset = np.empty(len(vert_arr), dtype=np.intp)
+    for i, vertex in enumerate(all_vertices):
+        key = frozenset(subscribers[vertex])
+        vertex_subset[i] = subset_ids.setdefault(key, len(subset_ids))
+    subset_members = list(subset_ids)  # subset id -> frozenset of nodes
+    is_member = {
+        node: np.asarray(
+            [node in members for members in subset_members], dtype=bool
+        )
+        for node in views
+    }
+    prev_labels = vert_arr.copy()  # identity is globally known
     if max_supersteps is None:
         max_supersteps = len(all_vertices) + 2
 
@@ -269,12 +287,22 @@ def _hash_to_min(
             bits_per_element=bits_per_element,
         )
         owner_outputs = result.outputs
-        changed = {}
-        for groups in owner_outputs.values():
-            for vertex, label in groups.items():
-                if label != prev_min[vertex]:
-                    changed[vertex] = label
-        if not changed:
+        # Vectorize each owner's output dict once: vertex and label
+        # arrays, their positions in the global vertex order, and which
+        # labels actually changed this superstep.
+        per_owner = []
+        num_changed = 0
+        for node in sorted(owner_outputs, key=node_sort_key):
+            groups = owner_outputs[node]
+            if not groups:
+                continue
+            verts = np.fromiter(groups.keys(), np.int64, len(groups))
+            labels = np.fromiter(groups.values(), np.int64, len(groups))
+            positions = np.searchsorted(vert_arr, verts)
+            changed_mask = labels != prev_labels[positions]
+            num_changed += int(changed_mask.sum())
+            per_owner.append((node, verts, labels, positions, changed_mask))
+        if num_changed == 0:
             converged = True
             break
         sent_pairs = 0
@@ -283,42 +311,43 @@ def _hash_to_min(
             protocol="label-return",
             label=f"superstep {step} return",
         ) as ctx:
-            for node in sorted(owner_outputs, key=node_sort_key):
-                groups = owner_outputs[node]
-                to_send = (
-                    {v: l for v, l in groups.items() if v in changed}
-                    if delta_return
-                    else dict(groups)
-                )
-                by_targets: dict[frozenset, list] = {}
-                for vertex, label in to_send.items():
-                    targets = frozenset(subscribers[vertex] - {node})
-                    if targets:
-                        by_targets.setdefault(targets, []).append(
-                            (vertex, label)
-                        )
-                    if node in subscribers[vertex]:
-                        # The owner also holds edges of this vertex:
-                        # its local view updates without communication.
-                        views[node].update(
-                            np.asarray([vertex], dtype=np.int64),
-                            np.asarray([label], dtype=np.int64),
-                        )
-                for targets, pairs in sorted(
-                    by_targets.items(),
-                    key=lambda item: sorted(map(str, item[0])),
+            for node, verts, labels, positions, changed_mask in per_owner:
+                if delta_return:
+                    verts_out = verts[changed_mask]
+                    labels_out = labels[changed_mask]
+                    pos_out = positions[changed_mask]
+                else:
+                    verts_out, labels_out, pos_out = verts, labels, positions
+                if not len(verts_out):
+                    continue
+                subset_of = vertex_subset[pos_out]
+                member_mask = is_member.get(node)
+                if member_mask is not None:
+                    # The owner also holds edges of some of these
+                    # vertices: its local view updates for free.
+                    own = member_mask[subset_of]
+                    if own.any():
+                        views[node].update(verts_out[own], labels_out[own])
+                order, uniques, starts, ends = group_slices(subset_of)
+                verts_sorted = verts_out[order]
+                labels_sorted = labels_out[order]
+                for sid, start, end in zip(
+                    uniques.tolist(), starts.tolist(), ends.tolist()
                 ):
-                    vertices = np.asarray([p[0] for p in pairs], np.int64)
-                    labels = np.asarray([p[1] for p in pairs], np.int64)
+                    targets = subset_members[sid] - {node}
+                    if not targets:
+                        continue
                     ctx.multicast(
                         node,
                         targets,
                         encode_tuples(
-                            vertices, labels, payload_bits=VERTEX_BITS
+                            verts_sorted[start:end],
+                            labels_sorted[start:end],
+                            payload_bits=VERTEX_BITS,
                         ),
                         tag=_LABEL_RECV,
                     )
-                    sent_pairs += len(pairs)
+                    sent_pairs += end - start
         driver.set_last_input_size(sent_pairs)
         for node, view in views.items():
             received = driver.cluster.take(node, _LABEL_RECV)
@@ -327,9 +356,8 @@ def _hash_to_min(
                     received, payload_bits=VERTEX_BITS
                 )
                 view.update(vertices, labels)
-        prev_min.update(
-            {v: l for groups in owner_outputs.values() for v, l in groups.items()}
-        )
+        for _, verts, labels, positions, _ in per_owner:
+            prev_labels[positions] = labels
     if not converged:
         raise ProtocolError(
             f"hash-to-min did not converge within {max_supersteps} supersteps"

@@ -184,9 +184,10 @@ def _execute_groupby(
     for node, groups in result.outputs.items():
         if not groups:
             continue
-        fragments[node] = np.array(
-            sorted(groups.items()), dtype=np.int64
-        ).reshape(-1, 2)
+        keys = np.fromiter(groups.keys(), np.int64, len(groups))
+        values = np.fromiter(groups.values(), np.int64, len(groups))
+        order = np.argsort(keys, kind="stable")
+        fragments[node] = np.stack([keys[order], values[order]], axis=1)
     return report, PlacedRelation(out_schema, fragments)
 
 

@@ -184,11 +184,7 @@ def tree_groupby_aggregate(
                 )
             else:
                 payload = local
-            targets = hasher.assign_indices(keys)
-            for index in np.unique(targets):
-                ctx.send(
-                    v, computes[index], payload[targets == index], tag=_RECV
-                )
+            ctx.exchange(v, hasher.assign_indices(keys), payload, tag=_RECV)
 
     outputs: dict = {}
     for v in computes:

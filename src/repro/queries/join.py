@@ -33,6 +33,7 @@ from repro.registry import register_protocol
 from repro.sim.cluster import Cluster
 from repro.sim.protocol import ProtocolResult
 from repro.topology.tree import TreeTopology, node_sort_key
+from repro.util.grouping import iter_groups
 from repro.util.hashing import WeightedNodeHasher
 from repro.util.seeding import derive_seed
 
@@ -189,11 +190,11 @@ def tree_equijoin(
                 unique_rows, inverse = np.unique(
                     target_matrix, axis=0, return_inverse=True
                 )
-                for row_id in range(len(unique_rows)):
+                for row_id, chunk in iter_groups(inverse, r_local):
                     ctx.multicast(
                         v,
                         {computes[j] for j in unique_rows[row_id]},
-                        r_local[inverse == row_id],
+                        chunk,
                         tag=small_recv,
                     )
             s_local = cluster.local(v, large_tag)
@@ -202,15 +203,13 @@ def tree_equijoin(
                 if hasher is None:  # pragma: no cover
                     continue
                 keys = np.asarray(s_local, dtype=np.int64) >> payload_bits
-                members = members_per_block[block_of[v]]
-                targets = hasher.assign_indices(keys)
-                for index in np.unique(targets):
-                    ctx.send(
-                        v,
-                        members[index],
-                        s_local[targets == index],
-                        tag=large_recv,
-                    )
+                ctx.exchange(
+                    v,
+                    hasher.assign_indices(keys),
+                    s_local,
+                    tag=large_recv,
+                    nodes=members_per_block[block_of[v]],
+                )
 
     outputs: dict = {}
     for v in computes:

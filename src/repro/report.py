@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
@@ -12,24 +13,36 @@ from repro.util.text import render_table
 
 
 def _jsonify(value: Any) -> Any:
-    """Coerce a report payload to JSON-serializable builtins.
+    """Coerce a report payload to strictly JSON-serializable builtins.
 
     Protocol ``meta`` dicts carry numpy scalars/arrays and frozensets;
     anything else unserializable degrades to ``repr`` rather than
-    failing the export.
+    failing the export.  Non-finite floats become ``None``: ``inf`` and
+    ``nan`` are not valid RFC 8259 JSON, and ``json.dumps`` would emit
+    the non-strict ``Infinity``/``NaN`` tokens many parsers reject —
+    every ``to_dict`` payload must survive
+    ``json.dumps(..., allow_nan=False)``.
     """
-    if isinstance(value, (bool, int, float, str)) or value is None:
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, (bool, int, str)) or value is None:
         return value
     if isinstance(value, np.integer):
         return int(value)
     if isinstance(value, np.floating):
-        return float(value)
+        return _jsonify(float(value))
     if isinstance(value, np.ndarray):
-        return value.tolist()
+        return _jsonify(value.tolist())
     if isinstance(value, dict):
         return {str(k): _jsonify(v) for k, v in value.items()}
     if isinstance(value, (frozenset, set)):
-        return sorted(_jsonify(v) for v in value)
+        members = [_jsonify(v) for v in value]
+        try:
+            return sorted(members)
+        except TypeError:
+            # mixed-type or otherwise unorderable members: fall back to
+            # a deterministic order instead of raising
+            return sorted(members, key=lambda m: (type(m).__name__, repr(m)))
     if isinstance(value, (list, tuple)):
         return [_jsonify(v) for v in value]
     return repr(value)
@@ -76,7 +89,7 @@ class RunReport:
             "rounds": self.rounds,
             "cost": self.cost,
             "lower_bound": self.lower_bound,
-            "ratio": ratio if ratio != float("inf") else None,
+            "ratio": ratio if math.isfinite(ratio) else None,
             "meta": _jsonify(self.meta),
         }
 
@@ -294,7 +307,7 @@ class GraphRunReport:
             "cost": self.cost,
             "rounds": self.rounds,
             # infinite ratios (cost over a zero bound) are not valid JSON
-            "ratio": ratio if ratio != float("inf") else None,
+            "ratio": ratio if math.isfinite(ratio) else None,
             "meta": _jsonify(self.meta),
         }
 
@@ -333,17 +346,24 @@ def summarize_reports(
 
 
 def aggregate(reports: Iterable[RunReport]) -> dict:
-    """Max rounds and max/mean ratio per task — the Table 1 claims."""
+    """Max rounds and max/mean ratio per task — the Table 1 claims.
+
+    Ratio statistics cover the finite ratios only; when every ratio in
+    a task is infinite (positive cost over zero bounds) the fields are
+    ``None``, never ``float("inf")`` — the summary feeds JSON exports
+    which must stay strict-RFC 8259 (``json.dumps`` would otherwise
+    emit a bare ``Infinity`` token).
+    """
     by_task: dict[str, list[RunReport]] = {}
     for report in reports:
         by_task.setdefault(report.task, []).append(report)
     summary: dict = {}
     for task, rows in sorted(by_task.items()):
-        finite = [r.ratio for r in rows if r.ratio != float("inf")]
+        finite = [r.ratio for r in rows if math.isfinite(r.ratio)]
         summary[task] = {
             "runs": len(rows),
             "max_rounds": max(r.rounds for r in rows),
-            "max_ratio": max(finite) if finite else float("inf"),
-            "mean_ratio": sum(finite) / len(finite) if finite else float("inf"),
+            "max_ratio": max(finite) if finite else None,
+            "mean_ratio": sum(finite) / len(finite) if finite else None,
         }
     return summary

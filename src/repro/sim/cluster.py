@@ -14,6 +14,14 @@ protocols round by round, following Section 2's computation model:
 Protocols interact with storage under string *tags* (relation names, or
 scratch tags like ``"R.recv"``), which is how a receiver distinguishes
 arrivals from pre-existing local data.
+
+The hot path is :meth:`RoundContext.exchange`: a hashed shuffle hands
+over its full values array plus a parallel per-element target-index
+array, the context groups it with one stable argsort (no per-destination
+boolean masks), and round finalization delivers and charges all grouped
+transfers in bulk.  ``send``/``multicast``/``scatter`` remain as thin
+wrappers over the same machinery, so protocols written against the
+per-transfer API keep working and keep producing identical ledgers.
 """
 
 from __future__ import annotations
@@ -27,7 +35,33 @@ from repro.data.distribution import Distribution
 from repro.errors import ProtocolError
 from repro.sim.ledger import CostLedger
 from repro.topology.steiner import PathOracle
-from repro.topology.tree import NodeId, TreeTopology
+from repro.topology.tree import NodeId, TreeTopology, node_sort_key
+from repro.util.grouping import group_slices
+
+#: Exchange implementation used by clusters that don't choose explicitly.
+#: ``"bulk"`` is the vectorized argsort path; ``"per-send"`` degrades
+#: :meth:`RoundContext.exchange` to the legacy per-destination
+#: boolean-mask loop and per-transfer accounting.  The legacy mode exists
+#: so benchmarks and property tests can check, end to end, that the bulk
+#: path produces byte-identical storage and ledgers — and measure the
+#: speedup against it.
+DEFAULT_EXCHANGE_MODE = "bulk"
+
+_EXCHANGE_MODES = ("bulk", "per-send")
+
+
+@contextmanager
+def use_exchange_mode(mode: str) -> Iterator[None]:
+    """Temporarily change the default exchange mode (for benchmarks)."""
+    global DEFAULT_EXCHANGE_MODE
+    if mode not in _EXCHANGE_MODES:
+        raise ProtocolError(f"unknown exchange mode {mode!r}")
+    previous = DEFAULT_EXCHANGE_MODE
+    DEFAULT_EXCHANGE_MODE = mode
+    try:
+        yield
+    finally:
+        DEFAULT_EXCHANGE_MODE = previous
 
 
 class RoundContext:
@@ -35,14 +69,75 @@ class RoundContext:
 
     def __init__(self, cluster: "Cluster") -> None:
         self._cluster = cluster
-        self._transfers: list[tuple[NodeId, frozenset, str, np.ndarray]] = []
+        # multicasts: (src, frozenset dsts, tag, payload)
+        self._multicasts: list[tuple[NodeId, frozenset, str, np.ndarray]] = []
+        # the unicast stream, in registration order: (src, node list or
+        # None for the canonical compute order, per-element target
+        # indices or None for "everything to node_list[0]", payload,
+        # tag).  send() appends constant-target records, exchange()
+        # scatter records; grouping is deferred to finalization so the
+        # whole round is grouped with one pass, and registration order
+        # is what makes bulk and per-send storage byte-identical even
+        # when sends and exchanges mix on one (dst, tag).
+        self._unicast_stream: list[
+            tuple[
+                NodeId,
+                Sequence[NodeId] | None,
+                np.ndarray | None,
+                np.ndarray,
+                str,
+            ]
+        ] = []
         self._closed = False
 
-    def send(
-        self, src: NodeId, dst: NodeId, values, *, tag: str
-    ) -> None:
+    # ------------------------------------------------------------------ #
+    # validation
+    # ------------------------------------------------------------------ #
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ProtocolError("round already finalized")
+
+    def _check_source(self, src: NodeId) -> None:
+        tree = self._cluster.tree
+        if src not in tree.nodes:
+            raise ProtocolError(f"unknown node {src!r}")
+        if src not in tree.compute_nodes:
+            raise ProtocolError(
+                f"source {src!r} is a router; data can only reside at "
+                "compute nodes, so no transfer can originate there"
+            )
+
+    def _check_destination(self, dst: NodeId) -> None:
+        tree = self._cluster.tree
+        if dst not in tree.nodes:
+            raise ProtocolError(f"unknown node {dst!r}")
+        if dst not in tree.compute_nodes:
+            raise ProtocolError(
+                f"destination {dst!r} is a router; only compute nodes "
+                "can store data"
+            )
+
+    @staticmethod
+    def _as_payload(values) -> np.ndarray:
+        payload = np.asarray(values, dtype=np.int64)
+        if payload.ndim != 1:
+            raise ProtocolError("payloads must be one-dimensional arrays")
+        return payload
+
+    # ------------------------------------------------------------------ #
+    # the transfer API
+    # ------------------------------------------------------------------ #
+
+    def send(self, src: NodeId, dst: NodeId, values, *, tag: str) -> None:
         """Unicast ``values`` from ``src`` to ``dst`` under ``tag``."""
-        self.multicast(src, (dst,), values, tag=tag)
+        self._check_open()
+        payload = self._as_payload(values)
+        self._check_source(src)
+        self._check_destination(dst)
+        if len(payload) == 0:
+            return
+        self._unicast_stream.append((src, (dst,), None, payload, str(tag)))
 
     def multicast(
         self, src: NodeId, dsts: Iterable[NodeId], values, *, tag: str
@@ -53,27 +148,17 @@ class RoundContext:
         ``{src} | dsts`` carries the payload once, which is the routing
         the paper's upper-bound analyses assume for replicated tuples.
         """
-        if self._closed:
-            raise ProtocolError("round already finalized")
-        payload = np.asarray(values, dtype=np.int64)
-        if payload.ndim != 1:
-            raise ProtocolError("payloads must be one-dimensional arrays")
+        self._check_open()
+        payload = self._as_payload(values)
         destination_set = frozenset(dsts)
         if not destination_set:
             raise ProtocolError("multicast needs at least one destination")
-        cluster = self._cluster
-        for node in destination_set | {src}:
-            if node not in cluster.tree.nodes:
-                raise ProtocolError(f"unknown node {node!r}")
+        self._check_source(src)
         for node in destination_set:
-            if node not in cluster.tree.compute_nodes:
-                raise ProtocolError(
-                    f"destination {node!r} is a router; only compute nodes "
-                    "can store data"
-                )
+            self._check_destination(node)
         if len(payload) == 0:
             return
-        self._transfers.append((src, destination_set, str(tag), payload))
+        self._multicasts.append((src, destination_set, str(tag), payload))
 
     def scatter(
         self,
@@ -86,14 +171,202 @@ class RoundContext:
         for dst, values in assignments:
             self.send(src, dst, values, tag=tag)
 
+    def exchange(
+        self,
+        src: NodeId,
+        targets,
+        values,
+        *,
+        tag: str,
+        nodes: Sequence[NodeId] | None = None,
+    ) -> None:
+        """Scatter ``values`` from ``src``, element ``i`` to node
+        ``nodes[targets[i]]``.
+
+        The batched equivalent of one :meth:`send` per distinct target:
+        ``targets`` is a parallel integer array indexing into ``nodes``
+        (default: the cluster's canonical compute order, the
+        ``sorted(tree.compute_nodes, key=node_sort_key)`` list every
+        hash-based protocol already uses).  Grouping happens with one
+        stable argsort over the whole round instead of one boolean-mask
+        scan per destination, and delivery/accounting are byte-identical
+        to the per-send path — within each destination group the
+        original element order is preserved.
+        """
+        self._check_open()
+        payload = self._as_payload(values)
+        target_indices = np.asarray(targets)
+        if target_indices.ndim != 1:
+            raise ProtocolError("targets must be a one-dimensional array")
+        if target_indices.size and target_indices.dtype.kind not in "iu":
+            raise ProtocolError("targets must be an integer array")
+        if len(target_indices) != len(payload):
+            raise ProtocolError(
+                f"{len(payload)} values but {len(target_indices)} targets; "
+                "exchange needs one target index per element"
+            )
+        cluster = self._cluster
+        node_list: Sequence[NodeId] = (
+            cluster.compute_order if nodes is None else list(nodes)
+        )
+        self._check_source(src)
+        if len(payload) == 0:
+            return
+        lo = int(target_indices.min())
+        hi = int(target_indices.max())
+        if lo < 0 or hi >= len(node_list):
+            raise ProtocolError(
+                f"target indices span [{lo}, {hi}] but only "
+                f"{len(node_list)} candidate nodes were given"
+            )
+        if cluster.exchange_mode == "per-send":
+            # Legacy path: one boolean-mask scan and one send per
+            # destination — kept for A/B benchmarking and equivalence
+            # tests, not for production use.
+            for index in np.unique(target_indices):
+                self.send(
+                    src,
+                    node_list[index],
+                    payload[target_indices == index],
+                    tag=tag,
+                )
+            return
+        if nodes is not None:
+            # The canonical compute order needs no checking; an explicit
+            # node list is validated on the destinations actually used.
+            used = np.flatnonzero(
+                np.bincount(target_indices, minlength=len(node_list))
+            )
+            for index in used.tolist():
+                self._check_destination(node_list[index])
+            node_list = list(node_list)
+        else:
+            node_list = None
+        self._unicast_stream.append(
+            (src, node_list, target_indices, payload, str(tag))
+        )
+
+    # ------------------------------------------------------------------ #
+    # finalization
+    # ------------------------------------------------------------------ #
+
     def _finalize(self) -> None:
-        if self._closed:
-            raise ProtocolError("round already finalized")
+        self._check_open()
         self._closed = True
+        if self._cluster.exchange_mode == "per-send":
+            self._finalize_per_transfer()
+        else:
+            self._finalize_bulk()
+
+    def _finalize_bulk(self) -> None:
+        """Deliver and charge the whole round with grouped bookkeeping.
+
+        All transfers are grouped by ``(dst, tag)`` for delivery — one
+        stable argsort per tag across every scatter of the round — and
+        by routing unit for accounting: unicast ``(src, dst)`` pair
+        counts feed the vectorized tree-flow charger
+        (:meth:`~repro.topology.steiner.RoutingIndex.unicast_loads`),
+        multicasts their Steiner sets; the ledger is charged once via
+        :meth:`CostLedger.add_loads` rather than once per transfer.
+        Addition over element counts is commutative, so the per-edge
+        loads equal the per-transfer path's exactly.
+        """
+        cluster = self._cluster
+        oracle = cluster.oracle
+        storage = cluster._storage
+        received = cluster._received_elements
+        cluster.ledger.open_round()
+        loads: dict = {}
+        pair_matrix: np.ndarray | None = None
+
+        if self._unicast_stream:
+            routing = oracle.routing_index
+            index_of = routing.index_of
+            node_names = routing.nodes
+            size = routing.num_nodes
+            # (src, dst) -> element count, accumulated as a dense matrix
+            # (node counts are small; 1024 nodes is an 8 MB matrix)
+            pair_matrix = np.zeros((size, size), dtype=np.int64)
+            lookup_dtype = np.int16 if size < 2**15 else np.int64
+            by_tag: dict[str, list[tuple[np.ndarray, np.ndarray]]] = {}
+            for src, node_list, target_indices, payload, tag in (
+                self._unicast_stream
+            ):
+                if target_indices is None:  # send(): one constant target
+                    dst_id = index_of[node_list[0]]
+                    dst_ids = np.full(len(payload), dst_id, lookup_dtype)
+                    pair_matrix[index_of[src], dst_id] += len(payload)
+                else:
+                    if node_list is None:
+                        lookup = cluster._compute_lookup(routing, lookup_dtype)
+                    else:
+                        lookup = np.fromiter(
+                            (index_of[n] for n in node_list),
+                            lookup_dtype,
+                            len(node_list),
+                        )
+                    dst_ids = lookup[target_indices]
+                    pair_matrix[index_of[src]] += np.bincount(
+                        dst_ids, minlength=size
+                    )
+                by_tag.setdefault(tag, []).append((dst_ids, payload))
+            # deliver: one grouping pass per tag over the whole round;
+            # the argsort is stable and parts are concatenated in
+            # registration order, so per-(dst, tag) contents match the
+            # per-transfer path exactly
+            for tag, parts in by_tag.items():
+                if len(parts) == 1:
+                    all_dst, all_payload = parts[0]
+                else:
+                    all_dst = np.concatenate([p[0] for p in parts])
+                    all_payload = np.concatenate([p[1] for p in parts])
+                order, uniques, starts, ends = group_slices(all_dst)
+                sorted_payload = all_payload[order]
+                for dst_id, start, end in zip(
+                    uniques.tolist(), starts.tolist(), ends.tolist()
+                ):
+                    storage.setdefault(node_names[dst_id], {}).setdefault(
+                        tag, []
+                    ).append(sorted_payload[start:end])
+
+        if pair_matrix is not None:
+            src_ids, dst_ids = np.nonzero(pair_matrix)
+            counts = pair_matrix[src_ids, dst_ids]
+            loads = routing.unicast_loads(src_ids, dst_ids, counts)
+            remote = src_ids != dst_ids
+            arrivals = np.zeros(size, dtype=np.int64)
+            np.add.at(arrivals, dst_ids[remote], counts[remote])
+            for index in np.flatnonzero(arrivals).tolist():
+                node = node_names[index]
+                received[node] = received.get(node, 0) + int(arrivals[index])
+
+        for src, dsts, tag, payload in self._multicasts:
+            count = len(payload)
+            for edge in oracle.steiner_edges(src, dsts):
+                loads[edge] = loads.get(edge, 0) + count
+            for dst in dsts:
+                storage.setdefault(dst, {}).setdefault(tag, []).append(payload)
+                if dst != src:
+                    received[dst] = received.get(dst, 0) + count
+        if loads:
+            cluster.ledger.add_loads(loads.keys(), loads.values())
+        cluster.ledger.close_round()
+
+    def _finalize_per_transfer(self) -> None:
+        """The legacy finalizer: walk transfers one at a time.
+
+        Only reachable in ``per-send`` mode, where ``exchange`` degrades
+        to ``send`` calls — so the unicast stream holds constant-target
+        records exclusively.
+        """
         cluster = self._cluster
         cluster.ledger.open_round()
         arrivals: dict[NodeId, dict[str, list[np.ndarray]]] = {}
-        for src, dsts, tag, payload in self._transfers:
+        transfers = [
+            (src, frozenset((node_list[0],)), tag, payload)
+            for src, node_list, _targets, payload, tag in self._unicast_stream
+        ] + self._multicasts
+        for src, dsts, tag, payload in transfers:
             for edge in cluster.oracle.steiner_edges(src, dsts):
                 cluster.ledger.add_load(edge, len(payload))
             for dst in dsts:
@@ -119,10 +392,18 @@ class Cluster:
         distribution: Distribution | None = None,
         *,
         bits_per_element: int = 64,
+        exchange_mode: str | None = None,
     ) -> None:
         self._tree = tree
         self.oracle = PathOracle(tree)
         self.ledger = CostLedger(tree, bits_per_element=bits_per_element)
+        if exchange_mode is None:
+            exchange_mode = DEFAULT_EXCHANGE_MODE
+        if exchange_mode not in _EXCHANGE_MODES:
+            raise ProtocolError(f"unknown exchange mode {exchange_mode!r}")
+        self._exchange_mode = exchange_mode
+        self._compute_order: tuple | None = None
+        self._compute_lookup_array: np.ndarray | None = None
         self._storage: dict[NodeId, dict[str, list[np.ndarray]]] = {}
         self._received_elements: dict[NodeId, int] = {}
         self._round_open = False
@@ -132,6 +413,35 @@ class Cluster:
     @property
     def tree(self) -> TreeTopology:
         return self._tree
+
+    @property
+    def exchange_mode(self) -> str:
+        """``"bulk"`` (vectorized) or ``"per-send"`` (legacy A/B path)."""
+        return self._exchange_mode
+
+    @property
+    def compute_order(self) -> tuple:
+        """The compute nodes in canonical order (cached).
+
+        This is the node list hash-based protocols index into, so
+        :meth:`RoundContext.exchange` uses it as the default target
+        universe.
+        """
+        if self._compute_order is None:
+            self._compute_order = tuple(
+                sorted(self._tree.compute_nodes, key=node_sort_key)
+            )
+        return self._compute_order
+
+    def _compute_lookup(self, routing, dtype) -> np.ndarray:
+        """Routing-index ids of the canonical compute order (cached)."""
+        if self._compute_lookup_array is None:
+            self._compute_lookup_array = np.fromiter(
+                (routing.index_of[v] for v in self.compute_order),
+                dtype,
+                len(self.compute_order),
+            )
+        return self._compute_lookup_array
 
     # ------------------------------------------------------------------ #
     # storage

@@ -53,6 +53,24 @@ class CostLedger:
         current = self._rounds[-1]
         current[edge] = current.get(edge, 0) + int(elements)
 
+    def add_loads(self, edges, counts) -> None:
+        """Charge a batch of per-edge loads into the open round.
+
+        ``edges`` and ``counts`` are parallel iterables; equivalent to
+        calling :meth:`add_load` once per pair, but the open-round check
+        happens once and the hot loop stays tight — this is how the
+        round finalizer charges a whole round's grouped transfers.
+        """
+        if not self._open:
+            raise ProtocolError("no round is open")
+        current = self._rounds[-1]
+        bandwidth = self._tree.bandwidth
+        for edge, elements in zip(edges, counts):
+            if elements < 0:
+                raise ProtocolError(f"negative load {elements}")
+            bandwidth(*edge)  # validates the edge exists
+            current[edge] = current.get(edge, 0) + int(elements)
+
     def close_round(self) -> None:
         if not self._open:
             raise ProtocolError("no round is open")

@@ -16,7 +16,117 @@ from __future__ import annotations
 
 from typing import Hashable, Iterable
 
-from repro.topology.tree import DirectedEdge, TreeTopology
+import numpy as np
+
+from repro.topology.tree import DirectedEdge, TreeTopology, node_sort_key
+
+
+class RoutingIndex:
+    """Integer-indexed tree structure for vectorized bulk accounting.
+
+    A round of a hashed shuffle produces tens of thousands of distinct
+    ``(src, dst)`` unicast pairs; walking the tree path of each pair in
+    Python is what used to dominate round finalization.  This index
+    computes the per-edge loads of *all* pairs together:
+
+    * LCAs by lifting both endpoint arrays up the canonical rooting,
+      one vectorized step per tree level;
+    * per-edge loads by the classic tree-difference trick — charge
+      ``+count`` at the endpoint, ``-count`` at the LCA, and push
+      partial sums up the tree level by level; the accumulated value at
+      node ``x`` is then exactly the load on the directed edge between
+      ``x`` and its parent (upward loads from sources, downward loads
+      to destinations).
+
+    The resulting per-edge totals are sums of the same integers the
+    per-pair walk adds up, so they are exactly equal.
+    """
+
+    def __init__(self, tree: TreeTopology) -> None:
+        self._tree = tree
+        self.nodes: list = sorted(tree.nodes, key=node_sort_key)
+        self.index_of: dict = {n: i for i, n in enumerate(self.nodes)}
+        size = len(self.nodes)
+        parent = np.full(size, -1, dtype=np.intp)
+        for i, node in enumerate(self.nodes):
+            p = tree.parent(node)
+            if p is not None:
+                parent[i] = self.index_of[p]
+        depth = np.zeros(size, dtype=np.int64)
+        pending = parent.copy()
+        while True:
+            alive = pending >= 0
+            if not alive.any():
+                break
+            depth[alive] += 1
+            pending[alive] = parent[pending[alive]]
+        self.parent = parent
+        self.depth = depth
+        self.max_depth = int(depth.max()) if size else 0
+        # node indices per depth level, deepest first, root level excluded
+        self.levels_desc: list[np.ndarray] = [
+            np.flatnonzero(depth == d)
+            for d in range(self.max_depth, 0, -1)
+        ]
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    def lca(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Vectorized lowest common ancestors of index arrays ``a``, ``b``."""
+        a = np.array(a, dtype=np.intp)
+        b = np.array(b, dtype=np.intp)
+        parent, depth = self.parent, self.depth
+        deeper = depth[a] > depth[b]
+        while deeper.any():
+            a[deeper] = parent[a[deeper]]
+            deeper = depth[a] > depth[b]
+        deeper = depth[b] > depth[a]
+        while deeper.any():
+            b[deeper] = parent[b[deeper]]
+            deeper = depth[b] > depth[a]
+        differ = a != b
+        while differ.any():
+            a[differ] = parent[a[differ]]
+            b[differ] = parent[b[differ]]
+            differ = a != b
+        return a
+
+    def unicast_loads(
+        self, src: np.ndarray, dst: np.ndarray, counts: np.ndarray
+    ) -> dict:
+        """Per-directed-edge element loads of a batch of unicasts.
+
+        ``src``/``dst`` are node indices (per :attr:`index_of`) and
+        ``counts`` the element count per pair; self-pairs contribute
+        nothing, exactly like an empty path.  Returns a dict mapping
+        :data:`DirectedEdge` to its total load.
+        """
+        src = np.asarray(src, dtype=np.intp)
+        dst = np.asarray(dst, dtype=np.intp)
+        counts = np.asarray(counts, dtype=np.int64)
+        meet = self.lca(src, dst)
+        up = np.zeros(self.num_nodes, dtype=np.int64)
+        down = np.zeros(self.num_nodes, dtype=np.int64)
+        np.add.at(up, src, counts)
+        np.subtract.at(up, meet, counts)
+        np.add.at(down, dst, counts)
+        np.subtract.at(down, meet, counts)
+        parent = self.parent
+        for level in self.levels_desc:
+            np.add.at(up, parent[level], up[level])
+            np.add.at(down, parent[level], down[level])
+        loads: dict = {}
+        nodes = self.nodes
+        for x in np.flatnonzero(up).tolist():
+            if parent[x] >= 0:
+                loads[(nodes[x], nodes[parent[x]])] = int(up[x])
+        for x in np.flatnonzero(down).tolist():
+            if parent[x] >= 0:
+                edge = (nodes[parent[x]], nodes[x])
+                loads[edge] = loads.get(edge, 0) + int(down[x])
+        return loads
 
 
 class PathOracle:
@@ -26,6 +136,14 @@ class PathOracle:
         self._tree = tree
         self._path_cache: dict[tuple, tuple[DirectedEdge, ...]] = {}
         self._steiner_cache: dict[tuple, tuple[DirectedEdge, ...]] = {}
+        self._routing: RoutingIndex | None = None
+
+    @property
+    def routing_index(self) -> RoutingIndex:
+        """The integer-indexed routing structure (built lazily, cached)."""
+        if self._routing is None:
+            self._routing = RoutingIndex(self._tree)
+        return self._routing
 
     @property
     def tree(self) -> TreeTopology:

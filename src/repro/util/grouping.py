@@ -1,0 +1,68 @@
+"""Single-pass grouping of parallel arrays by an integer index array.
+
+Every shuffle in the package ends with the same structure: a values
+array and a parallel array of small integer group ids (destination
+indices, splitter intervals, multicast row ids).  The naive per-group
+``values[ids == g]`` loop rescans the full array once per group —
+``O(n * p)`` work for ``p`` groups — which is what used to dominate the
+simulator's wall-clock.  Grouping with one stable ``argsort`` is
+``O(n log n)`` total, after which each group is a contiguous slice
+(original element order preserved within each group, because the sort
+is stable).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+
+def group_slices(
+    indices: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Compute the grouping of ``indices`` with one stable argsort.
+
+    Returns ``(order, unique_values, starts, ends)``: permuting any
+    parallel array by ``order`` makes group ``k`` (the elements whose
+    index equals ``unique_values[k]``) the contiguous slice
+    ``[starts[k], ends[k])``, with original relative order preserved.
+    """
+    indices = np.asarray(indices)
+    if indices.dtype.kind in "iu" and indices.itemsize > 2 and indices.size:
+        # NumPy's stable sort is a radix sort for narrow integer types,
+        # ~7x faster than the 64-bit merge sort; group ids here are node
+        # or block counts, far below the int16 range.
+        lo, hi = int(indices.min()), int(indices.max())
+        if 0 <= lo and hi < 2**15:
+            indices = indices.astype(np.int16)
+    order = np.argsort(indices, kind="stable")
+    sorted_indices = indices[order]
+    if len(sorted_indices) == 0:
+        empty = np.empty(0, dtype=np.intp)
+        return order, sorted_indices, empty, empty
+    boundaries = np.flatnonzero(np.diff(sorted_indices)) + 1
+    starts = np.concatenate(([0], boundaries))
+    ends = np.concatenate((boundaries, [len(sorted_indices)]))
+    return order, sorted_indices[starts], starts, ends
+
+
+def iter_groups(
+    indices: np.ndarray, values: np.ndarray
+) -> Iterator[tuple[int, np.ndarray]]:
+    """Yield ``(index_value, chunk)`` per distinct value of ``indices``.
+
+    ``chunk`` is the subsequence of ``values`` whose parallel index
+    equals ``index_value``, in original order — exactly what the
+    per-group boolean mask ``values[indices == index_value]`` returns,
+    but computed with one argsort for all groups together.
+    """
+    values = np.asarray(values)
+    order, uniques, starts, ends = group_slices(indices)
+    if not len(uniques):
+        return
+    sorted_values = values[order]
+    for value, start, end in zip(
+        uniques.tolist(), starts.tolist(), ends.tolist()
+    ):
+        yield value, sorted_values[start:end]

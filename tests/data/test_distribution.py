@@ -42,6 +42,18 @@ class TestAccessors:
         assert dist.size("v1", "R") == 3
         assert dist.size("v1", "S") == 2
 
+    def test_non_string_tags_normalize_on_lookup(self):
+        # regression: __init__ stores str(tag) keys, but fragment/size/
+        # relation used to look the raw tag up and silently return
+        # empty data for non-string tags
+        dist = Distribution({"v1": {7: [1, 2]}, "v2": {7: [3]}})
+        assert dist.tags == frozenset({"7"})
+        assert dist.fragment("v1", 7).tolist() == [1, 2]
+        assert dist.size("v1", 7) == 2
+        assert dist.relation(7).tolist() == [1, 2, 3]
+        assert dist.total(7) == 3
+        dist.require_partition(7)
+
     def test_size_total_per_node(self):
         assert sample_distribution().size("v1") == 5
 

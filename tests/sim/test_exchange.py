@@ -1,0 +1,296 @@
+"""Tests for the bulk exchange primitive and its accounting equivalence.
+
+The contract under test: one :meth:`RoundContext.exchange` call is
+observably identical to the equivalent sequence of per-destination
+:meth:`RoundContext.send` calls — same per-node storage (content *and*
+element order), same ``received_elements``, same per-edge ledger loads —
+on any topology, placement, and target assignment.  The vectorized
+``bulk`` mode and the legacy ``per-send`` mode are compared end to end.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.distribution import Distribution
+from repro.errors import ProtocolError
+from repro.sim.cluster import Cluster, use_exchange_mode
+from repro.topology.builders import star, two_level
+from repro.topology.steiner import RoutingIndex
+
+from tests.strategies import tree_topologies
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(two_level([2, 3], leaf_bandwidth=2.0, uplink_bandwidth=1.0))
+
+
+class TestExchangeBasics:
+    def test_delivers_groups_in_element_order(self, cluster):
+        computes = cluster.compute_order  # (v1, v2, v3, v4, v5)
+        with cluster.round() as ctx:
+            ctx.exchange(
+                "v1", [1, 0, 1, 2, 1], [10, 20, 30, 40, 50], tag="x"
+            )
+        assert cluster.local(computes[0], "x").tolist() == [20]
+        assert cluster.local(computes[1], "x").tolist() == [10, 30, 50]
+        assert cluster.local(computes[2], "x").tolist() == [40]
+
+    def test_charges_paths_like_sends(self):
+        a = Cluster(two_level([2, 3], leaf_bandwidth=2.0, uplink_bandwidth=1.0))
+        b = Cluster(two_level([2, 3], leaf_bandwidth=2.0, uplink_bandwidth=1.0))
+        with a.round() as ctx:
+            ctx.exchange("v1", [2, 2, 4], [7, 8, 9], tag="x")
+        with b.round() as ctx:
+            ctx.send("v1", b.compute_order[2], [7, 8], tag="x")
+            ctx.send("v1", b.compute_order[4], [9], tag="x")
+        assert a.ledger.round_loads(0) == b.ledger.round_loads(0)
+
+    def test_custom_node_list(self, cluster):
+        with cluster.round() as ctx:
+            ctx.exchange(
+                "v1", [0, 1, 0], [1, 2, 3], tag="x", nodes=["v5", "v3"]
+            )
+        assert cluster.local("v5", "x").tolist() == [1, 3]
+        assert cluster.local("v3", "x").tolist() == [2]
+
+    def test_self_targets_cost_nothing(self, cluster):
+        index = cluster.compute_order.index("v1")
+        with cluster.round() as ctx:
+            ctx.exchange("v1", [index, index], [1, 2], tag="x")
+        assert cluster.local("v1", "x").tolist() == [1, 2]
+        assert cluster.ledger.round_loads(0) == {}
+        assert cluster.received_elements("v1") == 0
+
+    def test_empty_payload_is_free(self, cluster):
+        with cluster.round() as ctx:
+            ctx.exchange("v1", [], [], tag="x")
+        assert cluster.ledger.round_loads(0) == {}
+
+    def test_send_and_exchange_interleave_in_call_order(self):
+        """Mixed send/exchange traffic to one (dst, tag) lands in
+        registration order in both modes (code-review regression)."""
+        results = {}
+        for mode in ("bulk", "per-send"):
+            cluster = Cluster(
+                two_level([2, 3], leaf_bandwidth=2.0, uplink_bandwidth=1.0),
+                exchange_mode=mode,
+            )
+            dst = cluster.compute_order[1]
+            with cluster.round() as ctx:
+                ctx.send("v1", dst, [100, 101], tag="x")
+                ctx.exchange("v3", [1, 1], [200, 201], tag="x")
+                ctx.send("v4", dst, [300], tag="x")
+            results[mode] = cluster.local(dst, "x").tolist()
+        assert results["bulk"] == [100, 101, 200, 201, 300]
+        assert results["bulk"] == results["per-send"]
+
+    def test_multiple_tags_one_round(self, cluster):
+        with cluster.round() as ctx:
+            ctx.exchange("v1", [1, 2], [1, 2], tag="a")
+            ctx.exchange("v2", [1, 2], [3, 4], tag="b")
+        assert cluster.local(cluster.compute_order[1], "a").tolist() == [1]
+        assert cluster.local(cluster.compute_order[1], "b").tolist() == [3]
+
+
+class TestExchangeValidation:
+    def test_router_source_rejected(self, cluster):
+        with pytest.raises(ProtocolError, match="router"):
+            with cluster.round() as ctx:
+                ctx.exchange("core", [0], [1], tag="x")
+
+    def test_unknown_source_rejected(self, cluster):
+        with pytest.raises(ProtocolError, match="unknown"):
+            with cluster.round() as ctx:
+                ctx.exchange("ghost", [0], [1], tag="x")
+
+    def test_router_in_node_list_rejected(self, cluster):
+        with pytest.raises(ProtocolError, match="router"):
+            with cluster.round() as ctx:
+                ctx.exchange("v1", [0], [1], tag="x", nodes=["core"])
+
+    def test_unused_router_in_node_list_tolerated(self, cluster):
+        # validation covers the destinations actually targeted, like
+        # the equivalent send sequence would
+        with cluster.round() as ctx:
+            ctx.exchange("v1", [0, 0], [1, 2], tag="x", nodes=["v2", "core"])
+        assert cluster.local("v2", "x").tolist() == [1, 2]
+
+    def test_length_mismatch_rejected(self, cluster):
+        with pytest.raises(ProtocolError, match="one target index"):
+            with cluster.round() as ctx:
+                ctx.exchange("v1", [0, 1], [1], tag="x")
+
+    def test_out_of_range_target_rejected(self, cluster):
+        with pytest.raises(ProtocolError, match="target indices"):
+            with cluster.round() as ctx:
+                ctx.exchange("v1", [99], [1], tag="x")
+
+    def test_negative_target_rejected(self, cluster):
+        with pytest.raises(ProtocolError, match="target indices"):
+            with cluster.round() as ctx:
+                ctx.exchange("v1", [-1], [1], tag="x")
+
+    def test_float_targets_rejected(self, cluster):
+        with pytest.raises(ProtocolError, match="integer"):
+            with cluster.round() as ctx:
+                ctx.exchange("v1", [0.5], [1], tag="x")
+
+    def test_two_dimensional_targets_rejected(self, cluster):
+        with pytest.raises(ProtocolError, match="one-dimensional"):
+            with cluster.round() as ctx:
+                ctx.exchange("v1", [[0]], [[1]], tag="x")
+
+
+class TestRouterSourceRegression:
+    """Data can never reside at a router, so no transfer may start there."""
+
+    def test_send_from_router_rejected(self, cluster):
+        with pytest.raises(ProtocolError, match="router"):
+            with cluster.round() as ctx:
+                ctx.send("core", "v1", [1], tag="x")
+
+    def test_multicast_from_router_rejected(self, cluster):
+        with pytest.raises(ProtocolError, match="router"):
+            with cluster.round() as ctx:
+                ctx.multicast("core", ["v1", "v2"], [1], tag="x")
+
+    def test_scatter_from_router_rejected(self, cluster):
+        with pytest.raises(ProtocolError, match="router"):
+            with cluster.round() as ctx:
+                ctx.scatter("w1", [("v1", [1])], tag="x")
+
+    def test_put_on_router_rejected(self, cluster):
+        with pytest.raises(ProtocolError, match="compute"):
+            cluster.put("core", "R", [1])
+
+    def test_load_with_router_data_rejected(self, cluster):
+        from repro.errors import DistributionError
+
+        with pytest.raises(DistributionError, match="non-compute"):
+            cluster.load(Distribution({"core": {"R": [1]}}))
+
+
+def _random_exchange_plan(draw, tree):
+    """A registration-ordered mix of exchange and send ops per node."""
+    computes = sorted(tree.compute_nodes, key=str)
+    plan = []
+    for node in computes:
+        for _ in range(draw(st.integers(1, 2))):
+            count = draw(st.integers(0, 12))
+            targets = [
+                draw(st.integers(0, len(computes) - 1)) for _ in range(count)
+            ]
+            values = [draw(st.integers(-50, 50)) for _ in range(count)]
+            tag = draw(st.sampled_from(["recv", "other"]))
+            kind = draw(st.sampled_from(["exchange", "send"]))
+            if kind == "send":
+                # one direct send, interleaved with the exchanges, to
+                # pin down ordering when both hit the same (dst, tag)
+                targets = targets[:1] * len(values)
+            plan.append((kind, node, targets, values, tag))
+    return computes, plan
+
+
+@st.composite
+def exchange_instances(draw):
+    tree = draw(tree_topologies(min_nodes=3, max_nodes=10))
+    computes, plan = _random_exchange_plan(draw, tree)
+    return tree, computes, plan
+
+
+def _snapshot(cluster, computes, tags=("recv", "other")):
+    storage = {
+        (v, tag): cluster.local(v, tag).tolist()
+        for v in computes
+        for tag in tags
+    }
+    received = {v: cluster.received_elements(v) for v in computes}
+    loads = [
+        cluster.ledger.round_loads(i)
+        for i in range(cluster.ledger.num_rounds)
+    ]
+    return storage, received, loads
+
+
+class TestExchangeEquivalenceProperty:
+    @given(exchange_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_exchange_matches_per_destination_sends(self, instance):
+        """The issue's contract: identical storage, received counts, and
+        per-edge loads between one exchange call and the equivalent
+        send sequence, on random topologies."""
+        tree, computes, plan = instance
+
+        def replay(cluster, expand_exchange):
+            with cluster.round() as ctx:
+                for kind, node, targets, values, tag in plan:
+                    if kind == "send" and targets:
+                        ctx.send(node, computes[targets[0]], values, tag=tag)
+                    elif kind == "send":
+                        pass  # empty send plan entry
+                    elif expand_exchange:
+                        targets = np.asarray(targets, dtype=np.int64)
+                        values = np.asarray(values, dtype=np.int64)
+                        for index in np.unique(targets):
+                            ctx.send(
+                                node,
+                                computes[index],
+                                values[targets == index],
+                                tag=tag,
+                            )
+                    else:
+                        ctx.exchange(
+                            node, targets, values, tag=tag, nodes=computes
+                        )
+
+        bulk = Cluster(tree, exchange_mode="bulk")
+        replay(bulk, expand_exchange=False)
+
+        sends = Cluster(tree, exchange_mode="bulk")
+        replay(sends, expand_exchange=True)
+
+        legacy = Cluster(tree, exchange_mode="per-send")
+        replay(legacy, expand_exchange=False)
+
+        reference = _snapshot(sends, computes)
+        assert _snapshot(bulk, computes) == reference
+        assert _snapshot(legacy, computes) == reference
+
+    @given(exchange_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_routing_index_matches_path_walks(self, instance):
+        """The vectorized tree-flow charger equals per-pair path walks."""
+        tree, computes, plan = instance
+        routing = RoutingIndex(tree)
+        pairs = [
+            (src, computes[t])
+            for _kind, src, targets, _values, _tag in plan
+            for t in targets
+        ]
+        if not pairs:
+            return
+        expected: dict = {}
+        for src, dst in pairs:
+            for edge in tree.path_edges(src, dst):
+                expected[edge] = expected.get(edge, 0) + 1
+        src_ids = np.asarray([routing.index_of[s] for s, _ in pairs])
+        dst_ids = np.asarray([routing.index_of[d] for _, d in pairs])
+        counts = np.ones(len(pairs), dtype=np.int64)
+        assert routing.unicast_loads(src_ids, dst_ids, counts) == expected
+
+
+class TestExchangeModeSwitch:
+    def test_use_exchange_mode_scopes_default(self):
+        tree = star(3)
+        with use_exchange_mode("per-send"):
+            assert Cluster(tree).exchange_mode == "per-send"
+        assert Cluster(tree).exchange_mode == "bulk"
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ProtocolError, match="exchange mode"):
+            Cluster(star(3), exchange_mode="psychic")
+        with pytest.raises(ProtocolError, match="exchange mode"):
+            with use_exchange_mode("psychic"):
+                pass  # pragma: no cover

@@ -53,6 +53,33 @@ class TestAccounting:
         with pytest.raises(ProtocolError, match="negative"):
             ledger.add_load(("v1", "w"), -1)
 
+    def test_add_loads_batch_equals_sequential(self, simple_star):
+        batched, sequential = CostLedger(simple_star), CostLedger(simple_star)
+        edges = [("v1", "w"), ("w", "v2"), ("v1", "w")]
+        counts = [5, 2, 3]
+        batched.open_round()
+        batched.add_loads(edges, counts)
+        batched.close_round()
+        sequential.open_round()
+        for edge, count in zip(edges, counts):
+            sequential.add_load(edge, count)
+        sequential.close_round()
+        assert batched.round_loads(0) == sequential.round_loads(0)
+
+    def test_add_loads_outside_round_rejected(self, ledger):
+        with pytest.raises(ProtocolError, match="no round"):
+            ledger.add_loads([("v1", "w")], [1])
+
+    def test_add_loads_rejects_negative(self, ledger):
+        ledger.open_round()
+        with pytest.raises(ProtocolError, match="negative"):
+            ledger.add_loads([("v1", "w")], [-2])
+
+    def test_add_loads_rejects_unknown_edge(self, ledger):
+        ledger.open_round()
+        with pytest.raises(Exception):
+            ledger.add_loads([("v1", "v2")], [1])
+
     def test_round_cost_divides_by_bandwidth(self, simple_star):
         # simple_star bandwidths: v1=1, v2=2, v3=4, v4=8
         ledger = CostLedger(simple_star)

@@ -38,6 +38,36 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["bogus"])
 
+    def test_bench_speed_small(self, capsys, tmp_path, monkeypatch):
+        import json
+
+        trajectory = tmp_path / "BENCH_SPEED.json"
+        monkeypatch.setenv("BENCH_SPEED_JSON", str(trajectory))
+        assert main(["--small", "bench", "speed"]) == 0
+        out = capsys.readouterr().out
+        assert "Bulk exchange vs legacy per-send path" in out
+        assert "speedup" in out
+        payload = json.loads(trajectory.read_text())
+        assert payload["benchmark"] == "bench_speed"
+        assert payload["runs"][0]["grid"] == "small"
+        for case in payload["runs"][0]["cases"]:
+            assert case["ledger_identical"] is True
+
+    def test_bench_speed_json_output(self, capsys, tmp_path, monkeypatch):
+        import json
+
+        monkeypatch.setenv("BENCH_SPEED_JSON", str(tmp_path / "t.json"))
+        assert main(["--small", "--json", "bench", "speed"]) == 0
+        cases = json.loads(capsys.readouterr().out)
+        assert {c["name"] for c in cases} == {
+            "uniform-hash shuffle",
+            "connected-components superstep shuffle",
+        }
+
+    def test_bench_unknown_subcommand_rejected(self, capsys):
+        assert main(["bench", "psychic"]) == 2
+        assert "unknown bench subcommand" in capsys.readouterr().err
+
     def test_table1_covers_relational_tasks(self, capsys):
         assert main(["--r-size", "150", "--s-size", "150", "table1"]) == 0
         out = capsys.readouterr().out
