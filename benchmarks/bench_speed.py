@@ -2,19 +2,21 @@
 
 Not a paper figure: this guards the simulator's own performance, the
 ROADMAP's "fast as the hardware allows" north star.  Large hashed
-shuffles (the uniform-hash relational shuffle and the
-connected-components superstep shuffle, 10^6 elements on 64- and
-256-node fat trees) are timed under the production ``bulk`` exchange
-mode and the legacy ``per-send`` mode, with target assignment
-precomputed so only the round itself — grouping, delivery,
-accounting — is measured.
+shuffles (the uniform-hash relational shuffle, the
+connected-components superstep shuffle, and the replication-heavy
+intersection multicast, 10^6 elements on 64- and 256-node fat trees)
+are timed under the production ``bulk`` exchange mode and the legacy
+``per-send`` mode, with target assignment precomputed so only the
+round itself — grouping, delivery, accounting — is measured.
 
 Claims checked:
 
 * the bulk path produces **identical** per-edge ledger loads, received
   counts, and per-node storage to the per-send path on every case
   (exact equality, not approximate);
-* bulk is at least ``3x`` faster on the full grid (measured 5-30x);
+* bulk is at least ``3x`` faster on the full grid for the unicast
+  shuffles and at least ``2x`` for the replication multicast (whose
+  per-destination storage appends are shared work in both modes);
   under ``BENCH_SMALL=1`` a conservative ``1.3x`` timing budget still
   fails CI if a per-element Python loop sneaks back into the hot path;
 * each run appends to the ``BENCH_SPEED.json`` perf trajectory at the
@@ -31,8 +33,6 @@ import pytest
 
 from benchmarks.conftest import record_table
 from repro.analysis.speed import (
-    FULL_MIN_SPEEDUP,
-    SMALL_MIN_SPEEDUP,
     check_cases,
     run_speed_suite,
     speed_table,
@@ -50,10 +50,10 @@ def test_bulk_exchange_speedup_and_equivalence(benchmark):
         rounds=1,
         iterations=1,
     )
-    check_cases(
-        cases,
-        min_speedup=SMALL_MIN_SPEEDUP if SMALL else FULL_MIN_SPEEDUP,
-    )
+    # each case carries its grid-dependent budget: >=3x for the unicast
+    # shuffles and >=2x for the replication workload on the full grid,
+    # the conservative 1.3x CI timing budget on the small grid
+    check_cases(cases)
     trajectory = write_trajectory(cases, grid="small" if SMALL else "full")
     headers, rows = speed_table(cases)
     record_table(

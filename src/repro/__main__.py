@@ -264,8 +264,6 @@ def _cmd_graphs(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Substrate benchmarks: ``bench speed`` is the A/B exchange harness."""
     from repro.analysis.speed import (
-        FULL_MIN_SPEEDUP,
-        SMALL_MIN_SPEEDUP,
         check_cases,
         run_speed_suite,
         speed_table,
@@ -280,10 +278,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
         return 2
     cases = run_speed_suite(small=args.small, seed=args.seed)
-    check_cases(
-        cases,
-        min_speedup=SMALL_MIN_SPEEDUP if args.small else FULL_MIN_SPEEDUP,
-    )
+    check_cases(cases)
     trajectory = write_trajectory(
         cases, grid="small" if args.small else "full"
     )

@@ -20,7 +20,6 @@ from repro.registry import register_protocol
 from repro.sim.cluster import Cluster
 from repro.sim.protocol import ProtocolResult
 from repro.topology.tree import TreeTopology, node_sort_key
-from repro.util.grouping import iter_groups
 from repro.util.hashing import WeightedNodeHasher
 from repro.util.seeding import derive_seed
 
@@ -86,14 +85,20 @@ def star_intersect(
     )
 
     cluster = Cluster(tree, distribution, bits_per_element=bits_per_element)
+    # One Steiner destination set per candidate owner: the hashed node
+    # plus every data-rich Vβ node (which all receive a full R copy).
+    destination_sets = [beta_set | {v} for v in computes]
     with cluster.round() as ctx:
         for v in computes:
             r_local = cluster.local(v, small_tag)
             if len(r_local) and hasher is not None:
-                targets = hasher.assign_indices(r_local)
-                for index, chunk in iter_groups(targets, r_local):
-                    destinations = beta_set | {computes[index]}
-                    ctx.multicast(v, destinations, chunk, tag=_R_RECV)
+                ctx.exchange_multicast(
+                    v,
+                    hasher.assign_indices(r_local),
+                    destination_sets,
+                    r_local,
+                    tag=_R_RECV,
+                )
             elif len(r_local) and beta_set:
                 ctx.multicast(v, beta_set, r_local, tag=_R_RECV)
             if v not in beta_set and hasher is not None:

@@ -23,7 +23,6 @@ from repro.registry import register_protocol
 from repro.sim.cluster import Cluster
 from repro.sim.protocol import ProtocolResult
 from repro.topology.tree import TreeTopology, node_sort_key
-from repro.util.grouping import iter_groups
 from repro.util.hashing import WeightedNodeHasher
 from repro.util.seeding import derive_seed
 
@@ -95,8 +94,9 @@ def tree_intersect(
         for v in computes:
             r_local = cluster.local(v, small_tag)
             if len(r_local) and active:
-                # One destination per block; group elements that share
-                # the same destination tuple so multicasts stay few.
+                # One destination per block; elements sharing the same
+                # destination tuple form one multicast group, batched
+                # through the round's multicast stream.
                 member_ids = {
                     i: np.asarray(
                         [node_index[m] for m in block_members[i]], dtype=np.int64
@@ -113,11 +113,17 @@ def tree_intersect(
                 unique_rows, inverse = np.unique(
                     target_matrix, axis=0, return_inverse=True
                 )
-                for row_id, chunk in iter_groups(inverse, r_local):
-                    destinations = {
-                        computes[j] for j in unique_rows[row_id]
-                    }
-                    ctx.multicast(v, destinations, chunk, tag=_R_RECV)
+                destination_sets = [
+                    frozenset(computes[j] for j in row)
+                    for row in unique_rows.tolist()
+                ]
+                ctx.exchange_multicast(
+                    v,
+                    np.ravel(inverse),
+                    destination_sets,
+                    r_local,
+                    tag=_R_RECV,
+                )
             s_local = cluster.local(v, large_tag)
             if len(s_local):
                 hasher = hashers[block_of[v]]

@@ -49,7 +49,6 @@ from repro.registry import register_protocol, register_task
 from repro.report import GraphRunReport, RunReport
 from repro.sim.protocol import ProtocolResult
 from repro.topology.tree import NodeId, TreeTopology, node_sort_key
-from repro.util.grouping import group_slices
 
 _LABEL_RECV = "cc.labels.recv"
 _GATHER_RECV = "cc.gather.recv"
@@ -328,26 +327,33 @@ def _hash_to_min(
                     own = member_mask[subset_of]
                     if own.any():
                         views[node].update(verts_out[own], labels_out[own])
-                order, uniques, starts, ends = group_slices(subset_of)
-                verts_sorted = verts_out[order]
-                labels_sorted = labels_out[order]
-                for sid, start, end in zip(
-                    uniques.tolist(), starts.tolist(), ends.tolist()
-                ):
-                    targets = subset_members[sid] - {node}
-                    if not targets:
-                        continue
-                    ctx.multicast(
-                        node,
-                        targets,
-                        encode_tuples(
-                            verts_sorted[start:end],
-                            labels_sorted[start:end],
-                            payload_bits=VERTEX_BITS,
-                        ),
-                        tag=_LABEL_RECV,
-                    )
-                    sent_pairs += end - start
+                # Batched subscriber-subset return: one Steiner
+                # destination set per subset present (its subscribers
+                # minus the sender; vertices whose only subscriber is
+                # the sender ship nothing), one exchange_multicast for
+                # all subsets together.
+                used, group_ids = np.unique(subset_of, return_inverse=True)
+                destination_sets = [
+                    subset_members[sid] - {node} for sid in used.tolist()
+                ]
+                nonempty = np.asarray(
+                    [bool(dsts) for dsts in destination_sets], dtype=bool
+                )
+                mask = nonempty[group_ids]
+                if not mask.any():
+                    continue
+                ctx.exchange_multicast(
+                    node,
+                    group_ids[mask],
+                    destination_sets,
+                    encode_tuples(
+                        verts_out[mask],
+                        labels_out[mask],
+                        payload_bits=VERTEX_BITS,
+                    ),
+                    tag=_LABEL_RECV,
+                )
+                sent_pairs += int(mask.sum())
         driver.set_last_input_size(sent_pairs)
         for node, view in views.items():
             received = driver.cluster.take(node, _LABEL_RECV)

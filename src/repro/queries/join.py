@@ -33,7 +33,6 @@ from repro.registry import register_protocol
 from repro.sim.cluster import Cluster
 from repro.sim.protocol import ProtocolResult
 from repro.topology.tree import TreeTopology, node_sort_key
-from repro.util.grouping import iter_groups
 from repro.util.hashing import WeightedNodeHasher
 from repro.util.seeding import derive_seed
 
@@ -190,13 +189,17 @@ def tree_equijoin(
                 unique_rows, inverse = np.unique(
                     target_matrix, axis=0, return_inverse=True
                 )
-                for row_id, chunk in iter_groups(inverse, r_local):
-                    ctx.multicast(
-                        v,
-                        {computes[j] for j in unique_rows[row_id]},
-                        chunk,
-                        tag=small_recv,
-                    )
+                destination_sets = [
+                    frozenset(computes[j] for j in row)
+                    for row in unique_rows.tolist()
+                ]
+                ctx.exchange_multicast(
+                    v,
+                    np.ravel(inverse),
+                    destination_sets,
+                    r_local,
+                    tag=small_recv,
+                )
             s_local = cluster.local(v, large_tag)
             if len(s_local):
                 hasher = hashers[block_of[v]]

@@ -15,13 +15,17 @@ Protocols interact with storage under string *tags* (relation names, or
 scratch tags like ``"R.recv"``), which is how a receiver distinguishes
 arrivals from pre-existing local data.
 
-The hot path is :meth:`RoundContext.exchange`: a hashed shuffle hands
-over its full values array plus a parallel per-element target-index
-array, the context groups it with one stable argsort (no per-destination
-boolean masks), and round finalization delivers and charges all grouped
-transfers in bulk.  ``send``/``multicast``/``scatter`` remain as thin
-wrappers over the same machinery, so protocols written against the
-per-transfer API keep working and keep producing identical ledgers.
+The hot paths are :meth:`RoundContext.exchange` and
+:meth:`RoundContext.exchange_multicast`: a hashed shuffle (or a
+replicating protocol) hands over its full values array plus a parallel
+per-element index array — target node indices for unicasts, destination
+-set indices for multicasts — the context groups the whole round with
+one stable argsort per tag (no per-destination boolean masks, no
+per-group Python loops), and round finalization delivers and charges
+all grouped transfers in bulk.  ``send``/``multicast``/``scatter``
+remain as thin wrappers over the same machinery, so protocols written
+against the per-transfer API keep working and keep producing identical
+ledgers.
 """
 
 from __future__ import annotations
@@ -36,7 +40,7 @@ from repro.errors import ProtocolError
 from repro.sim.ledger import CostLedger
 from repro.topology.steiner import PathOracle
 from repro.topology.tree import NodeId, TreeTopology, node_sort_key
-from repro.util.grouping import group_slices
+from repro.util.grouping import group_slices, iter_groups
 
 #: Exchange implementation used by clusters that don't choose explicitly.
 #: ``"bulk"`` is the vectorized argsort path; ``"per-send"`` degrades
@@ -69,8 +73,23 @@ class RoundContext:
 
     def __init__(self, cluster: "Cluster") -> None:
         self._cluster = cluster
-        # multicasts: (src, frozenset dsts, tag, payload)
-        self._multicasts: list[tuple[NodeId, frozenset, str, np.ndarray]] = []
+        # the multicast stream, in registration order: (src, tuple of
+        # destination frozensets, per-element group indices into that
+        # tuple or None for "one group, everything to sets[0]",
+        # payload, tag).  multicast() appends single-set records,
+        # exchange_multicast() batched ones; like the unicast stream,
+        # grouping is deferred to finalization so the whole round's
+        # replicated traffic is grouped with one pass per tag and
+        # charged with one vectorized Steiner-flow call.
+        self._multicasts: list[
+            tuple[
+                NodeId,
+                tuple[frozenset, ...],
+                np.ndarray | None,
+                np.ndarray,
+                str,
+            ]
+        ] = []
         # the unicast stream, in registration order: (src, node list or
         # None for the canonical compute order, per-element target
         # indices or None for "everything to node_list[0]", payload,
@@ -125,6 +144,44 @@ class RoundContext:
             raise ProtocolError("payloads must be one-dimensional arrays")
         return payload
 
+    @staticmethod
+    def _as_indices(indices, what: str) -> np.ndarray:
+        """Validate a parallel index array (``targets`` / ``group_ids``).
+
+        Dtype is checked even for zero-length arrays — an explicit
+        float array is a bug whether or not it holds elements — but an
+        empty plain sequence carries no dtype intent (``np.asarray([])``
+        defaults to float64) and coerces to int64.
+        """
+        array = np.asarray(indices)
+        if array.ndim != 1:
+            raise ProtocolError(f"{what} must be a one-dimensional array")
+        if array.dtype.kind not in "iu":
+            if array.size or isinstance(indices, np.ndarray):
+                raise ProtocolError(f"{what} must be an integer array")
+            array = array.astype(np.int64)
+        return array
+
+    @staticmethod
+    def _check_index_span(
+        indices: np.ndarray, bound: int, what: str, candidates: str
+    ) -> None:
+        """Range-check a parallel index array against its candidate list.
+
+        Runs before the empty-payload early returns (a zero-length
+        array passes vacuously), so malformed indices are rejected
+        whether or not elements flow this round.
+        """
+        if not indices.size:
+            return
+        lo = int(indices.min())
+        hi = int(indices.max())
+        if lo < 0 or hi >= bound:
+            raise ProtocolError(
+                f"{what} span [{lo}, {hi}] but only "
+                f"{bound} {candidates} were given"
+            )
+
     # ------------------------------------------------------------------ #
     # the transfer API
     # ------------------------------------------------------------------ #
@@ -158,7 +215,9 @@ class RoundContext:
             self._check_destination(node)
         if len(payload) == 0:
             return
-        self._multicasts.append((src, destination_set, str(tag), payload))
+        self._multicasts.append(
+            (src, (destination_set,), None, payload, str(tag))
+        )
 
     def scatter(
         self,
@@ -195,11 +254,7 @@ class RoundContext:
         """
         self._check_open()
         payload = self._as_payload(values)
-        target_indices = np.asarray(targets)
-        if target_indices.ndim != 1:
-            raise ProtocolError("targets must be a one-dimensional array")
-        if target_indices.size and target_indices.dtype.kind not in "iu":
-            raise ProtocolError("targets must be an integer array")
+        target_indices = self._as_indices(targets, "targets")
         if len(target_indices) != len(payload):
             raise ProtocolError(
                 f"{len(payload)} values but {len(target_indices)} targets; "
@@ -210,26 +265,36 @@ class RoundContext:
             cluster.compute_order if nodes is None else list(nodes)
         )
         self._check_source(src)
+        self._check_index_span(
+            target_indices, len(node_list), "target indices", "candidate nodes"
+        )
         if len(payload) == 0:
             return
-        lo = int(target_indices.min())
-        hi = int(target_indices.max())
-        if lo < 0 or hi >= len(node_list):
-            raise ProtocolError(
-                f"target indices span [{lo}, {hi}] but only "
-                f"{len(node_list)} candidate nodes were given"
-            )
         if cluster.exchange_mode == "per-send":
-            # Legacy path: one boolean-mask scan and one send per
-            # destination — kept for A/B benchmarking and equivalence
-            # tests, not for production use.
-            for index in np.unique(target_indices):
-                self.send(
-                    src,
-                    node_list[index],
-                    payload[target_indices == index],
-                    tag=tag,
-                )
+            # Legacy path: one send per destination *node* — kept for
+            # A/B benchmarking and equivalence tests, not for
+            # production use.  Target indices that alias one node under
+            # two positions must collapse into a single delivery in
+            # original element order, exactly like the bulk path's
+            # (dst, tag) grouping (duplicate-alias regression), so an
+            # explicit node list is canonicalized before grouping.
+            if nodes is None:
+                # the canonical compute order is alias-free; keep the
+                # historical boolean-mask scan as the timing baseline
+                for index in np.unique(target_indices):
+                    self.send(
+                        src,
+                        node_list[index],
+                        payload[target_indices == index],
+                        tag=tag,
+                    )
+                return
+            canonical: dict[NodeId, int] = {}
+            lookup = np.arange(len(node_list))
+            for index in np.unique(target_indices).tolist():
+                lookup[index] = canonical.setdefault(node_list[index], index)
+            for index, chunk in iter_groups(lookup[target_indices], payload):
+                self.send(src, node_list[index], chunk, tag=tag)
             return
         if nodes is not None:
             # The canonical compute order needs no checking; an explicit
@@ -245,6 +310,65 @@ class RoundContext:
         self._unicast_stream.append(
             (src, node_list, target_indices, payload, str(tag))
         )
+
+    def exchange_multicast(
+        self,
+        src: NodeId,
+        group_ids,
+        destination_sets: Sequence[Iterable[NodeId]],
+        values,
+        *,
+        tag: str,
+    ) -> None:
+        """Replicate ``values`` from ``src``, element ``i`` to every
+        node in ``destination_sets[group_ids[i]]``.
+
+        The batched equivalent of one :meth:`multicast` per distinct
+        group id: ``group_ids`` is a parallel integer array indexing
+        into ``destination_sets``, the per-round Steiner destination
+        sets a replicating protocol computed (one per hashed owner in
+        StarIntersect, one per distinct block-target row in
+        TreeIntersect, one per subscriber subset in the components
+        return leg).  Grouping is deferred to round finalization — one
+        stable argsort per tag over the round's whole multicast stream
+        — and the Steiner-tree edges of all groups are charged with a
+        single vectorized :meth:`RoutingIndex.multicast_loads
+        <repro.topology.steiner.RoutingIndex.multicast_loads>` call.
+        Delivery and accounting are byte-identical to the equivalent
+        per-group multicast loop; only destination sets actually
+        referenced by a group id are validated.
+        """
+        self._check_open()
+        payload = self._as_payload(values)
+        ids = self._as_indices(group_ids, "group ids")
+        if len(ids) != len(payload):
+            raise ProtocolError(
+                f"{len(payload)} values but {len(ids)} group ids; "
+                "exchange_multicast needs one group id per element"
+            )
+        sets = tuple(
+            dsts if isinstance(dsts, frozenset) else frozenset(dsts)
+            for dsts in destination_sets
+        )
+        self._check_source(src)
+        self._check_index_span(ids, len(sets), "group ids", "destination sets")
+        if len(payload) == 0:
+            return
+        if self._cluster.exchange_mode == "per-send":
+            # Legacy path: one multicast per group with per-transfer
+            # accounting — the A/B oracle the property tests compare
+            # against.
+            for index, chunk in iter_groups(ids, payload):
+                self.multicast(src, sets[index], chunk, tag=tag)
+            return
+        used = np.flatnonzero(np.bincount(ids, minlength=len(sets)))
+        for index in used.tolist():
+            dsts = sets[index]
+            if not dsts:
+                raise ProtocolError("multicast needs at least one destination")
+            for node in dsts:
+                self._check_destination(node)
+        self._multicasts.append((src, sets, ids, payload, str(tag)))
 
     # ------------------------------------------------------------------ #
     # finalization
@@ -340,23 +464,108 @@ class RoundContext:
                 node = node_names[index]
                 received[node] = received.get(node, 0) + int(arrivals[index])
 
-        for src, dsts, tag, payload in self._multicasts:
-            count = len(payload)
-            for edge in oracle.steiner_edges(src, dsts):
-                loads[edge] = loads.get(edge, 0) + count
-            for dst in dsts:
-                storage.setdefault(dst, {}).setdefault(tag, []).append(payload)
-                if dst != src:
-                    received[dst] = received.get(dst, 0) + count
+        if self._multicasts:
+            self._deliver_multicasts(loads)
         if loads:
             cluster.ledger.add_loads(loads.keys(), loads.values())
         cluster.ledger.close_round()
+
+    def _deliver_multicasts(self, loads: dict) -> None:
+        """Deliver and charge the round's multicast stream in bulk.
+
+        Group ids are lifted into a per-tag global id space (each
+        record's local ids shifted by a running base), so one
+        :func:`group_slices` pass per tag groups every replicated
+        element of the round; global ids ascend in registration x
+        local-id order, which keeps per-``(dst, tag)`` append order —
+        and therefore storage bytes — identical to the per-group
+        multicast loop.  Every present group's Steiner tree is then
+        charged through one vectorized
+        :meth:`~repro.topology.steiner.RoutingIndex.multicast_loads`
+        call, merged into ``loads`` alongside the unicast charges.
+        """
+        cluster = self._cluster
+        routing = cluster.oracle.routing_index
+        index_of = routing.index_of
+        storage = cluster._storage
+        received = cluster._received_elements
+        # tag -> parallel (global group ids, payload) parts and the
+        # (base, src, sets) record table that resolves a global id back
+        # to its source and destination set
+        parts_by_tag: dict[str, list[tuple[np.ndarray, np.ndarray]]] = {}
+        records_by_tag: dict[str, list[tuple[int, NodeId, tuple]]] = {}
+        next_base: dict[str, int] = {}
+        for src, sets, group_ids, payload, tag in self._multicasts:
+            base = next_base.get(tag, 0)
+            if group_ids is None:
+                gids = np.full(len(payload), base, dtype=np.int64)
+            else:
+                gids = group_ids.astype(np.int64) + base
+            parts_by_tag.setdefault(tag, []).append((gids, payload))
+            records_by_tag.setdefault(tag, []).append((base, src, sets))
+            next_base[tag] = base + len(sets)
+        set_ids: dict[frozenset, np.ndarray] = {}
+        batch_src: list[int] = []
+        batch_sets: list[np.ndarray] = []
+        batch_counts: list[int] = []
+        for tag, parts in parts_by_tag.items():
+            if len(parts) == 1:
+                all_gids, all_payload = parts[0]
+            else:
+                all_gids = np.concatenate([p[0] for p in parts])
+                all_payload = np.concatenate([p[1] for p in parts])
+            order, uniques, starts, ends = group_slices(all_gids)
+            sorted_payload = all_payload[order]
+            records = records_by_tag[tag]
+            position = 0
+            for gid, start, end in zip(
+                uniques.tolist(), starts.tolist(), ends.tolist()
+            ):
+                while (
+                    position + 1 < len(records)
+                    and records[position + 1][0] <= gid
+                ):
+                    position += 1
+                base, src, sets = records[position]
+                dsts = sets[gid - base]
+                chunk = sorted_payload[start:end]
+                count = end - start
+                ids = set_ids.get(dsts)
+                if ids is None:
+                    ids = np.fromiter(
+                        (index_of[n] for n in dsts), np.intp, len(dsts)
+                    )
+                    set_ids[dsts] = ids
+                batch_src.append(index_of[src])
+                batch_sets.append(ids)
+                batch_counts.append(count)
+                for dst in dsts:
+                    storage.setdefault(dst, {}).setdefault(tag, []).append(
+                        chunk
+                    )
+                    if dst != src:
+                        received[dst] = received.get(dst, 0) + count
+        lens = np.fromiter(
+            (len(ids) for ids in batch_sets), np.intp, len(batch_sets)
+        )
+        ends = np.cumsum(lens)
+        multicast_loads = routing.multicast_loads(
+            np.asarray(batch_src, dtype=np.intp),
+            np.concatenate(batch_sets) if batch_sets else np.empty(0, np.intp),
+            ends - lens,
+            ends,
+            np.asarray(batch_counts, dtype=np.int64),
+        )
+        for edge, count in multicast_loads.items():
+            loads[edge] = loads.get(edge, 0) + count
 
     def _finalize_per_transfer(self) -> None:
         """The legacy finalizer: walk transfers one at a time.
 
         Only reachable in ``per-send`` mode, where ``exchange`` degrades
-        to ``send`` calls — so the unicast stream holds constant-target
+        to ``send`` calls and ``exchange_multicast`` to per-group
+        ``multicast`` calls — so the unicast stream holds
+        constant-target records and the multicast stream single-set
         records exclusively.
         """
         cluster = self._cluster
@@ -365,7 +574,10 @@ class RoundContext:
         transfers = [
             (src, frozenset((node_list[0],)), tag, payload)
             for src, node_list, _targets, payload, tag in self._unicast_stream
-        ] + self._multicasts
+        ] + [
+            (src, sets[0], tag, payload)
+            for src, sets, _group_ids, payload, tag in self._multicasts
+        ]
         for src, dsts, tag, payload in transfers:
             for edge in cluster.oracle.steiner_edges(src, dsts):
                 cluster.ledger.add_load(edge, len(payload))

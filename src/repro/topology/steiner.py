@@ -68,6 +68,22 @@ class RoutingIndex:
             np.flatnonzero(depth == d)
             for d in range(self.max_depth, 0, -1)
         ]
+        # DFS preorder entry times: terminals of a multicast sorted by
+        # ``tin`` admit the edge-disjoint Steiner decomposition that
+        # :meth:`multicast_loads` charges (the virtual-tree ordering).
+        children: list[list[int]] = [[] for _ in range(size)]
+        for i in range(size):
+            if parent[i] >= 0:
+                children[parent[i]].append(i)
+        tin = np.zeros(size, dtype=np.int64)
+        stack = [i for i in range(size) if parent[i] < 0][::-1]
+        timer = 0
+        while stack:
+            x = stack.pop()
+            tin[x] = timer
+            timer += 1
+            stack.extend(reversed(children[x]))
+        self.tin = tin
 
     @property
     def num_nodes(self) -> int:
@@ -113,6 +129,16 @@ class RoutingIndex:
         np.subtract.at(up, meet, counts)
         np.add.at(down, dst, counts)
         np.subtract.at(down, meet, counts)
+        return self._push_loads(up, down)
+
+    def _push_loads(self, up: np.ndarray, down: np.ndarray) -> dict:
+        """Prefix-sum tree-difference arrays into a per-edge load dict.
+
+        ``up[x]`` / ``down[x]`` hold path-difference charges; after
+        pushing partial sums up the levels, the value at ``x`` is the
+        load on the edge between ``x`` and its parent — upward
+        (``x -> parent``) for ``up``, downward for ``down``.
+        """
         parent = self.parent
         for level in self.levels_desc:
             np.add.at(up, parent[level], up[level])
@@ -127,6 +153,77 @@ class RoutingIndex:
                 edge = (nodes[parent[x]], nodes[x])
                 loads[edge] = loads.get(edge, 0) + int(down[x])
         return loads
+
+    def multicast_loads(
+        self,
+        src: np.ndarray,
+        terminals: np.ndarray,
+        starts: np.ndarray,
+        ends: np.ndarray,
+        counts: np.ndarray,
+    ) -> dict:
+        """Per-directed-edge loads of a batch of Steiner multicasts.
+
+        Group ``g`` multicasts ``counts[g]`` elements from node index
+        ``src[g]`` to the destination indices
+        ``terminals[starts[g]:ends[g]]``; each directed edge of the
+        Steiner tree of ``{src} | destinations`` (directed away from
+        the source) is charged ``counts[g]`` once, exactly like
+        :meth:`PathOracle.steiner_edges` accounting.
+
+        The vectorization rests on the virtual-tree decomposition: with
+        a group's terminals ``t_1 <= ... <= t_k`` sorted by DFS
+        preorder (:attr:`tin`), the upward paths
+        ``t_i -> lca(t_i, t_{i-1 cyclic})`` are edge-disjoint and cover
+        every Steiner edge exactly once (the cyclic first pair yields
+        the Steiner root ``lca(t_1, t_k)``).  Those paths feed the same
+        tree-difference accumulators as :meth:`unicast_loads`; edges on
+        the source's path to the Steiner root carry the payload upward,
+        every other Steiner edge carries it downward.  Duplicate
+        terminals contribute empty paths, so destination sets need no
+        deduplication against the source.
+        """
+        src = np.asarray(src, dtype=np.intp)
+        terminals = np.asarray(terminals, dtype=np.intp)
+        starts = np.asarray(starts, dtype=np.intp)
+        ends = np.asarray(ends, dtype=np.intp)
+        counts = np.asarray(counts, dtype=np.int64)
+        num_groups = len(src)
+        if num_groups == 0:
+            return {}
+        lens = ends - starts
+        k = lens + 1  # terminals per group, the source included
+        out_end = np.cumsum(k)
+        out_start = out_end - k
+        total = int(out_end[-1])
+        group_of = np.repeat(np.arange(num_groups, dtype=np.intp), k)
+        # flat terminal array: each group's source followed by its
+        # destination slice, gathered without a per-group Python loop
+        flat = np.empty(total, dtype=np.intp)
+        flat[out_start] = src
+        pos = np.arange(total, dtype=np.intp)
+        dst_slots = pos != out_start[group_of]
+        gather = pos - out_start[group_of] - 1 + starts[group_of]
+        flat[dst_slots] = terminals[gather[dst_slots]]
+        order = np.lexsort((self.tin[flat], group_of))
+        t_sorted = flat[order]
+        prev = np.empty_like(t_sorted)
+        prev[1:] = t_sorted[:-1]
+        prev[out_start] = t_sorted[out_end - 1]
+        meet = self.lca(t_sorted, prev)
+        roots = meet[out_start]  # lca(t_1, t_k) = the group's Steiner root
+        per_terminal = counts[group_of]
+        up = np.zeros(self.num_nodes, dtype=np.int64)
+        down = np.zeros(self.num_nodes, dtype=np.int64)
+        # upward: the source's path to the Steiner root
+        np.add.at(up, src, counts)
+        np.subtract.at(up, roots, counts)
+        # downward: the full disjoint decomposition minus that path
+        np.add.at(down, t_sorted, per_terminal)
+        np.subtract.at(down, meet, per_terminal)
+        np.subtract.at(down, src, counts)
+        np.add.at(down, roots, counts)
+        return self._push_loads(up, down)
 
 
 class PathOracle:

@@ -68,6 +68,33 @@ class TestExchangeBasics:
             ctx.exchange("v1", [], [], tag="x")
         assert cluster.ledger.round_loads(0) == {}
 
+    def test_aliased_nodes_collapse_to_one_delivery(self):
+        """An explicit node list aliasing one node under two indices
+        delivers once, in original element order, in BOTH modes (the
+        duplicate-alias regression: per-send used to reorder to
+        [10, 12, 11, 13])."""
+        results = {}
+        for mode in ("bulk", "per-send"):
+            cluster = Cluster(
+                two_level([2, 3], leaf_bandwidth=2.0, uplink_bandwidth=1.0),
+                exchange_mode=mode,
+            )
+            with cluster.round() as ctx:
+                ctx.exchange(
+                    "v1",
+                    [0, 1, 0, 1],
+                    [10, 11, 12, 13],
+                    tag="x",
+                    nodes=["v3", "v3"],
+                )
+            results[mode] = (
+                cluster.local("v3", "x").tolist(),
+                cluster.ledger.round_loads(0),
+                cluster.received_elements("v3"),
+            )
+        assert results["bulk"][0] == [10, 11, 12, 13]
+        assert results["bulk"] == results["per-send"]
+
     def test_send_and_exchange_interleave_in_call_order(self):
         """Mixed send/exchange traffic to one (dst, tag) lands in
         registration order in both modes (code-review regression)."""
@@ -142,6 +169,26 @@ class TestExchangeValidation:
             with cluster.round() as ctx:
                 ctx.exchange("v1", [[0]], [[1]], tag="x")
 
+    def test_zero_length_float_array_targets_rejected(self, cluster):
+        """The empty-payload early return must not skip dtype checks:
+        an explicit float array is a caller bug whether or not it
+        carries elements (empty-payload validation regression)."""
+        with pytest.raises(ProtocolError, match="integer"):
+            with cluster.round() as ctx:
+                ctx.exchange("v1", np.array([], dtype=np.float64), [], tag="x")
+
+    def test_zero_length_integer_array_targets_accepted(self, cluster):
+        with cluster.round() as ctx:
+            ctx.exchange("v1", np.empty(0, dtype=np.int64), [], tag="x")
+        assert cluster.ledger.round_loads(0) == {}
+
+    def test_zero_length_two_dimensional_targets_rejected(self, cluster):
+        with pytest.raises(ProtocolError, match="one-dimensional"):
+            with cluster.round() as ctx:
+                ctx.exchange(
+                    "v1", np.empty((0, 2), dtype=np.int64), [], tag="x"
+                )
+
 
 class TestRouterSourceRegression:
     """Data can never reside at a router, so no transfer may start there."""
@@ -173,14 +220,27 @@ class TestRouterSourceRegression:
 
 
 def _random_exchange_plan(draw, tree):
-    """A registration-ordered mix of exchange and send ops per node."""
+    """A registration-ordered mix of exchange and send ops per node.
+
+    Roughly a third of the exchange entries target an explicit node
+    list drawn *with replacement* from the compute nodes, so one node
+    may be aliased under several target indices — the duplicate-alias
+    regression the equivalence property must cover.
+    """
     computes = sorted(tree.compute_nodes, key=str)
     plan = []
     for node in computes:
         for _ in range(draw(st.integers(1, 2))):
+            if draw(st.integers(0, 2)) == 0:
+                node_list = [
+                    draw(st.sampled_from(computes))
+                    for _ in range(draw(st.integers(1, 6)))
+                ]
+            else:
+                node_list = list(computes)
             count = draw(st.integers(0, 12))
             targets = [
-                draw(st.integers(0, len(computes) - 1)) for _ in range(count)
+                draw(st.integers(0, len(node_list) - 1)) for _ in range(count)
             ]
             values = [draw(st.integers(-50, 50)) for _ in range(count)]
             tag = draw(st.sampled_from(["recv", "other"]))
@@ -189,7 +249,7 @@ def _random_exchange_plan(draw, tree):
                 # one direct send, interleaved with the exchanges, to
                 # pin down ordering when both hit the same (dst, tag)
                 targets = targets[:1] * len(values)
-            plan.append((kind, node, targets, values, tag))
+            plan.append((kind, node, node_list, targets, values, tag))
     return computes, plan
 
 
@@ -225,24 +285,25 @@ class TestExchangeEquivalenceProperty:
 
         def replay(cluster, expand_exchange):
             with cluster.round() as ctx:
-                for kind, node, targets, values, tag in plan:
+                for kind, node, node_list, targets, values, tag in plan:
                     if kind == "send" and targets:
-                        ctx.send(node, computes[targets[0]], values, tag=tag)
+                        ctx.send(node, node_list[targets[0]], values, tag=tag)
                     elif kind == "send":
                         pass  # empty send plan entry
                     elif expand_exchange:
-                        targets = np.asarray(targets, dtype=np.int64)
-                        values = np.asarray(values, dtype=np.int64)
-                        for index in np.unique(targets):
-                            ctx.send(
-                                node,
-                                computes[index],
-                                values[targets == index],
-                                tag=tag,
+                        # the contract: per destination *node* (aliased
+                        # indices collapse), one send carrying that
+                        # node's elements in original order
+                        grouped: dict = {}
+                        for index, value in zip(targets, values):
+                            grouped.setdefault(node_list[index], []).append(
+                                value
                             )
+                        for dst, chunk in grouped.items():
+                            ctx.send(node, dst, chunk, tag=tag)
                     else:
                         ctx.exchange(
-                            node, targets, values, tag=tag, nodes=computes
+                            node, targets, values, tag=tag, nodes=node_list
                         )
 
         bulk = Cluster(tree, exchange_mode="bulk")
@@ -265,8 +326,8 @@ class TestExchangeEquivalenceProperty:
         tree, computes, plan = instance
         routing = RoutingIndex(tree)
         pairs = [
-            (src, computes[t])
-            for _kind, src, targets, _values, _tag in plan
+            (src, node_list[t])
+            for _kind, src, node_list, targets, _values, _tag in plan
             for t in targets
         ]
         if not pairs:

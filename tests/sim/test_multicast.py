@@ -1,0 +1,394 @@
+"""Tests for the batched multicast primitive and its accounting.
+
+The contract under test: one :meth:`RoundContext.exchange_multicast`
+call is observably identical to the equivalent per-group
+:meth:`RoundContext.multicast` loop — same per-node storage (content
+*and* element order), same ``received_elements``, same per-edge ledger
+loads — on any topology and any family of Steiner destination sets.
+The vectorized ``bulk`` mode, the looped expansion, and the legacy
+``per-send`` mode are compared end to end, and the vectorized
+:meth:`RoutingIndex.multicast_loads` charger is checked against the
+memoised per-group Steiner-edge walks.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.suites import standard_topologies
+from repro.errors import ProtocolError
+from repro.sim.cluster import Cluster
+from repro.topology.builders import two_level
+from repro.topology.steiner import PathOracle, RoutingIndex
+from repro.topology.tree import node_sort_key
+
+from tests.strategies import tree_topologies
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(two_level([2, 3], leaf_bandwidth=2.0, uplink_bandwidth=1.0))
+
+
+def _snapshot(cluster, tags=("recv", "other")):
+    computes = cluster.compute_order
+    storage = {
+        (v, tag): cluster.local(v, tag).tolist()
+        for v in computes
+        for tag in tags
+    }
+    received = {v: cluster.received_elements(v) for v in computes}
+    loads = [
+        cluster.ledger.round_loads(i)
+        for i in range(cluster.ledger.num_rounds)
+    ]
+    return storage, received, loads
+
+
+class TestExchangeMulticastBasics:
+    def test_delivers_to_every_member_in_element_order(self, cluster):
+        with cluster.round() as ctx:
+            ctx.exchange_multicast(
+                "v1",
+                [0, 1, 0],
+                [{"v3", "v4"}, {"v5"}],
+                [1, 2, 3],
+                tag="x",
+            )
+        assert cluster.local("v3", "x").tolist() == [1, 3]
+        assert cluster.local("v4", "x").tolist() == [1, 3]
+        assert cluster.local("v5", "x").tolist() == [2]
+
+    def test_charges_steiner_sets_like_looped_multicast(self):
+        a = Cluster(two_level([2, 3], leaf_bandwidth=2.0, uplink_bandwidth=1.0))
+        b = Cluster(two_level([2, 3], leaf_bandwidth=2.0, uplink_bandwidth=1.0))
+        sets = [frozenset({"v3", "v4"}), frozenset({"v2", "v5"})]
+        group_ids = np.array([0, 1, 0, 0, 1])
+        values = np.array([1, 2, 3, 4, 5])
+        with a.round() as ctx:
+            ctx.exchange_multicast("v1", group_ids, sets, values, tag="x")
+        with b.round() as ctx:
+            for index in np.unique(group_ids):
+                ctx.multicast(
+                    "v1", sets[index], values[group_ids == index], tag="x"
+                )
+        assert a.ledger.round_loads(0) == b.ledger.round_loads(0)
+        for v in a.compute_order:
+            assert a.local(v, "x").tolist() == b.local(v, "x").tolist()
+            assert a.received_elements(v) == b.received_elements(v)
+
+    def test_self_only_destination_set_is_stored_free(self):
+        """A destination set containing only the source stores a copy
+        at zero link cost — in multicast and exchange_multicast alike."""
+        for batched in (False, True):
+            cluster = Cluster(
+                two_level([2, 3], leaf_bandwidth=2.0, uplink_bandwidth=1.0)
+            )
+            with cluster.round() as ctx:
+                if batched:
+                    ctx.exchange_multicast(
+                        "v1", [0, 0], [{"v1"}], [7, 8], tag="x"
+                    )
+                else:
+                    ctx.multicast("v1", {"v1"}, [7, 8], tag="x")
+            assert cluster.local("v1", "x").tolist() == [7, 8]
+            assert cluster.ledger.round_loads(0) == {}
+            assert cluster.received_elements("v1") == 0
+
+    def test_source_inside_larger_destination_set(self, cluster):
+        with cluster.round() as ctx:
+            ctx.exchange_multicast(
+                "v1", [0, 0], [{"v1", "v2"}], [7, 8], tag="x"
+            )
+        assert cluster.local("v1", "x").tolist() == [7, 8]
+        assert cluster.local("v2", "x").tolist() == [7, 8]
+        assert cluster.received_elements("v1") == 0
+        assert cluster.received_elements("v2") == 2
+        # one copy crosses v1 -> core -> v2, charged once per link
+        assert all(
+            count == 2 for count in cluster.ledger.round_loads(0).values()
+        )
+
+    def test_interleaves_with_sends_and_multicasts_across_modes(self):
+        """Mixed traffic on one (dst, tag) lands in registration order
+        (unicasts first, then the multicast stream) in both modes."""
+        results = {}
+        for mode in ("bulk", "per-send"):
+            cluster = Cluster(
+                two_level([2, 3], leaf_bandwidth=2.0, uplink_bandwidth=1.0),
+                exchange_mode=mode,
+            )
+            with cluster.round() as ctx:
+                ctx.multicast("v2", {"v4", "v5"}, [100], tag="x")
+                ctx.exchange_multicast(
+                    "v1", [1, 0, 1], [{"v4"}, {"v4", "v5"}], [1, 2, 3], tag="x"
+                )
+                ctx.send("v3", "v4", [200], tag="x")
+            results[mode] = _snapshot(cluster, tags=("x",))
+        assert results["bulk"] == results["per-send"]
+        storage = results["bulk"][0]
+        assert storage[("v4", "x")] == [200, 100, 2, 1, 3]
+
+    def test_empty_payload_is_free(self, cluster):
+        with cluster.round() as ctx:
+            ctx.exchange_multicast("v1", [], [{"v2"}], [], tag="x")
+        assert cluster.ledger.round_loads(0) == {}
+
+
+class TestExchangeMulticastValidation:
+    def test_router_source_rejected(self, cluster):
+        with pytest.raises(ProtocolError, match="router"):
+            with cluster.round() as ctx:
+                ctx.exchange_multicast("core", [0], [{"v1"}], [1], tag="x")
+
+    def test_router_in_destination_set_rejected(self, cluster):
+        with pytest.raises(ProtocolError, match="router"):
+            with cluster.round() as ctx:
+                ctx.exchange_multicast(
+                    "v1", [0], [{"v2", "core"}], [1], tag="x"
+                )
+
+    def test_router_in_unused_destination_set_tolerated(self, cluster):
+        # validation covers the destination sets actually referenced,
+        # like the equivalent multicast loop would
+        with cluster.round() as ctx:
+            ctx.exchange_multicast(
+                "v1", [0, 0], [{"v2"}, {"core"}], [1, 2], tag="x"
+            )
+        assert cluster.local("v2", "x").tolist() == [1, 2]
+
+    def test_empty_used_destination_set_rejected(self, cluster):
+        with pytest.raises(ProtocolError, match="at least one destination"):
+            with cluster.round() as ctx:
+                ctx.exchange_multicast(
+                    "v1", [0, 1], [{"v2"}, frozenset()], [1, 2], tag="x"
+                )
+
+    def test_empty_unused_destination_set_tolerated(self, cluster):
+        with cluster.round() as ctx:
+            ctx.exchange_multicast(
+                "v1", [0, 0], [{"v2"}, frozenset()], [1, 2], tag="x"
+            )
+        assert cluster.local("v2", "x").tolist() == [1, 2]
+
+    def test_length_mismatch_rejected(self, cluster):
+        with pytest.raises(ProtocolError, match="one group id"):
+            with cluster.round() as ctx:
+                ctx.exchange_multicast("v1", [0, 0], [{"v2"}], [1], tag="x")
+
+    def test_out_of_range_group_id_rejected(self, cluster):
+        with pytest.raises(ProtocolError, match="group ids span"):
+            with cluster.round() as ctx:
+                ctx.exchange_multicast("v1", [1], [{"v2"}], [1], tag="x")
+
+    def test_negative_group_id_rejected(self, cluster):
+        with pytest.raises(ProtocolError, match="group ids span"):
+            with cluster.round() as ctx:
+                ctx.exchange_multicast("v1", [-1], [{"v2"}], [1], tag="x")
+
+    def test_float_group_ids_rejected(self, cluster):
+        with pytest.raises(ProtocolError, match="integer"):
+            with cluster.round() as ctx:
+                ctx.exchange_multicast("v1", [0.5], [{"v2"}], [1], tag="x")
+
+    def test_zero_length_float_array_group_ids_rejected(self, cluster):
+        """The empty-payload early return must not skip dtype checks
+        (empty-payload validation regression)."""
+        with pytest.raises(ProtocolError, match="integer"):
+            with cluster.round() as ctx:
+                ctx.exchange_multicast(
+                    "v1", np.array([], dtype=np.float64), [{"v2"}], [], tag="x"
+                )
+
+    def test_two_dimensional_group_ids_rejected(self, cluster):
+        with pytest.raises(ProtocolError, match="one-dimensional"):
+            with cluster.round() as ctx:
+                ctx.exchange_multicast("v1", [[0]], [{"v2"}], [[1]], tag="x")
+
+
+class TestStandardTopologyEquivalence:
+    """The satellite contract: exchange_multicast equals a looped
+    ctx.multicast on every standard benchmark topology."""
+
+    @pytest.mark.parametrize(
+        "tree",
+        standard_topologies(),
+        ids=lambda tree: tree.name,
+    )
+    def test_equivalent_to_looped_multicast(self, tree):
+        computes = sorted(tree.compute_nodes, key=node_sort_key)
+        # the intersection replication shape: {hashed owner} | Vbeta
+        beta = frozenset(computes[:: max(1, len(computes) // 3)])
+        sets = [beta | {v} for v in computes]
+        rng = np.random.default_rng(7)
+        plan = [
+            (
+                node,
+                rng.integers(0, len(sets), size=5 + i),
+                rng.integers(-50, 50, size=5 + i),
+            )
+            for i, node in enumerate(computes)
+        ]
+
+        def replay(cluster, expand):
+            with cluster.round() as ctx:
+                for node, group_ids, values in plan:
+                    if expand:
+                        for index in np.unique(group_ids):
+                            ctx.multicast(
+                                node,
+                                sets[index],
+                                values[group_ids == index],
+                                tag="recv",
+                            )
+                    else:
+                        ctx.exchange_multicast(
+                            node, group_ids, sets, values, tag="recv"
+                        )
+
+        bulk = Cluster(tree, exchange_mode="bulk")
+        replay(bulk, expand=False)
+        looped = Cluster(tree, exchange_mode="bulk")
+        replay(looped, expand=True)
+        legacy = Cluster(tree, exchange_mode="per-send")
+        replay(legacy, expand=False)
+
+        reference = _snapshot(looped, tags=("recv",))
+        assert _snapshot(bulk, tags=("recv",)) == reference
+        assert _snapshot(legacy, tags=("recv",)) == reference
+
+
+def _random_multicast_plan(draw, tree):
+    """A registration-ordered mix of batched/plain multicasts and sends."""
+    computes = sorted(tree.compute_nodes, key=str)
+    plan = []
+    for node in computes:
+        for _ in range(draw(st.integers(1, 2))):
+            tag = draw(st.sampled_from(["recv", "other"]))
+            kind = draw(
+                st.sampled_from(["exchange_multicast", "multicast", "send"])
+            )
+            if kind == "exchange_multicast":
+                sets = [
+                    frozenset(
+                        draw(
+                            st.sets(
+                                st.sampled_from(computes),
+                                min_size=1,
+                                max_size=min(4, len(computes)),
+                            )
+                        )
+                    )
+                    for _ in range(draw(st.integers(1, 3)))
+                ]
+                count = draw(st.integers(0, 10))
+                group_ids = [
+                    draw(st.integers(0, len(sets) - 1)) for _ in range(count)
+                ]
+                values = [draw(st.integers(-50, 50)) for _ in range(count)]
+                plan.append((kind, node, group_ids, sets, values, tag))
+            elif kind == "multicast":
+                dsts = frozenset(
+                    draw(
+                        st.sets(
+                            st.sampled_from(computes),
+                            min_size=1,
+                            max_size=min(4, len(computes)),
+                        )
+                    )
+                )
+                count = draw(st.integers(1, 8))
+                values = [draw(st.integers(-50, 50)) for _ in range(count)]
+                plan.append((kind, node, None, [dsts], values, tag))
+            else:
+                dst = draw(st.sampled_from(computes))
+                count = draw(st.integers(1, 8))
+                values = [draw(st.integers(-50, 50)) for _ in range(count)]
+                plan.append((kind, node, None, [frozenset({dst})], values, tag))
+    return computes, plan
+
+
+@st.composite
+def multicast_instances(draw):
+    tree = draw(tree_topologies(min_nodes=3, max_nodes=10))
+    computes, plan = _random_multicast_plan(draw, tree)
+    return tree, computes, plan
+
+
+class TestExchangeMulticastEquivalenceProperty:
+    @given(multicast_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_batched_matches_looped_and_per_send(self, instance):
+        """The issue's contract: byte-identical storage, received
+        counts, and per-edge ledgers between one exchange_multicast
+        call, the equivalent multicast loop, and the legacy per-send
+        mode, on random topologies with interleaved traffic."""
+        tree, computes, plan = instance
+
+        def replay(cluster, expand_batched):
+            with cluster.round() as ctx:
+                for kind, node, group_ids, sets, values, tag in plan:
+                    if kind == "send":
+                        (dst,) = sets[0]
+                        ctx.send(node, dst, values, tag=tag)
+                    elif kind == "multicast":
+                        ctx.multicast(node, sets[0], values, tag=tag)
+                    elif expand_batched:
+                        ids = np.asarray(group_ids, dtype=np.int64)
+                        chunk = np.asarray(values, dtype=np.int64)
+                        for index in np.unique(ids):
+                            ctx.multicast(
+                                node, sets[index], chunk[ids == index], tag=tag
+                            )
+                    else:
+                        ctx.exchange_multicast(
+                            node, group_ids, sets, values, tag=tag
+                        )
+
+        bulk = Cluster(tree, exchange_mode="bulk")
+        replay(bulk, expand_batched=False)
+        looped = Cluster(tree, exchange_mode="bulk")
+        replay(looped, expand_batched=True)
+        legacy = Cluster(tree, exchange_mode="per-send")
+        replay(legacy, expand_batched=False)
+
+        reference = _snapshot(looped)
+        assert _snapshot(bulk) == reference
+        assert _snapshot(legacy) == reference
+
+    @given(multicast_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_multicast_loads_matches_steiner_walks(self, instance):
+        """The vectorized Steiner-flow charger equals per-group walks."""
+        tree, computes, plan = instance
+        oracle = PathOracle(tree)
+        routing = RoutingIndex(tree)
+        srcs, flat, starts, ends, counts = [], [], [], [], []
+        expected: dict = {}
+        for _kind, node, group_ids, sets, values, _tag in plan:
+            ids = np.asarray(
+                group_ids if group_ids is not None else [0] * len(values),
+                dtype=np.int64,
+            )
+            for index in np.unique(ids):
+                count = int((ids == index).sum())
+                if count == 0:
+                    continue
+                dsts = sets[index]
+                srcs.append(routing.index_of[node])
+                starts.append(len(flat))
+                flat.extend(routing.index_of[d] for d in dsts)
+                ends.append(len(flat))
+                counts.append(count)
+                for edge in oracle.steiner_edges(node, dsts):
+                    expected[edge] = expected.get(edge, 0) + count
+        if not srcs:
+            return
+        got = routing.multicast_loads(
+            np.asarray(srcs),
+            np.asarray(flat),
+            np.asarray(starts),
+            np.asarray(ends),
+            np.asarray(counts),
+        )
+        assert got == expected

@@ -62,6 +62,7 @@ class TestCli:
         assert {c["name"] for c in cases} == {
             "uniform-hash shuffle",
             "connected-components superstep shuffle",
+            "intersection R-replication multicast",
         }
 
     def test_bench_unknown_subcommand_rejected(self, capsys):
