@@ -9,7 +9,9 @@ Usage::
     python -m repro plan --explain      # planner vs gather/worst-order
     python -m repro graphs              # graph workloads vs baselines
     python -m repro bench speed         # bulk-exchange A/B wall-clock
+    python -m repro bench scale         # process-substrate scaling grid
     python -m repro table1 --r-size 2000 --s-size 2000 --seed 7
+    python -m repro compare --backend process --num-workers 4
 
 Each command prints the same plain-text tables the benchmark harness
 records, so the headline claims can be checked without pytest;
@@ -39,15 +41,17 @@ from repro.util.text import render_table
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
-    reports = run_many(
-        standard_plans(
-            r_size=args.r_size,
-            s_size=args.s_size,
-            seed=args.seed,
-            tasks=ALL_SUITE_TASKS,
-        ),
-        workers=args.workers,
+    plans = standard_plans(
+        r_size=args.r_size,
+        s_size=args.s_size,
+        seed=args.seed,
+        tasks=ALL_SUITE_TASKS,
     )
+    if args.backend != "sim":
+        for plan in plans:
+            plan.backend = args.backend
+            plan.num_workers = args.num_workers
+    reports = run_many(plans, workers=args.workers, executor=args.executor)
     if args.verbose:
         print(summarize_reports(reports, title="All runs"))
         print()
@@ -97,10 +101,27 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         ("cartesian-product", "tree", "classic-hypercube"),
         ("sorting", "wts", "terasort"),
     ):
-        aware = run(
-            task, tree, dist, protocol=aware_protocol, seed=args.seed
+        backend_opts = (
+            {"backend": args.backend, "num_workers": args.num_workers}
+            if args.backend != "sim"
+            else {}
         )
-        base = run(task, tree, dist, protocol=base_protocol, seed=args.seed)
+        aware = run(
+            task,
+            tree,
+            dist,
+            protocol=aware_protocol,
+            seed=args.seed,
+            **backend_opts,
+        )
+        base = run(
+            task,
+            tree,
+            dist,
+            protocol=base_protocol,
+            seed=args.seed,
+            **backend_opts,
+        )
         reports.extend([aware, base])
         rows.append(
             [
@@ -262,7 +283,9 @@ def _cmd_graphs(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    """Substrate benchmarks: ``bench speed`` is the A/B exchange harness."""
+    """Substrate benchmarks: exchange A/B (``speed``), workers (``scale``)."""
+    if args.subcommand == "scale":
+        return _cmd_bench_scale(args)
     from repro.analysis.speed import (
         check_cases,
         run_speed_suite,
@@ -273,7 +296,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.subcommand != "speed":
         print(
             f"error: unknown bench subcommand {args.subcommand!r}; "
-            "available: speed",
+            "available: speed, scale",
             file=sys.stderr,
         )
         return 2
@@ -292,6 +315,49 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             rows,
             title=(
                 "Bulk exchange vs legacy per-send path "
+                f"(grid={'small' if args.small else 'full'}, "
+                f"seed={args.seed}; trajectory appended to {trajectory})"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_bench_scale(args: argparse.Namespace) -> int:
+    """The process-substrate scaling grid (``bench scale``)."""
+    from repro.analysis.scale import (
+        check_scale_cases,
+        run_scale_suite,
+        scale_table,
+        write_scale_trajectory,
+    )
+    from repro.parallel.pool import shutdown_pools
+
+    # --workers N caps the grid at N (always alongside the 1-worker
+    # baseline); the suite default is (1, 2) small / (1, 2, 4, 8) full.
+    grid = None
+    if args.workers is not None:
+        grid = tuple(dict.fromkeys((1, max(args.workers, 1))))
+    try:
+        cases = run_scale_suite(
+            small=args.small, seed=args.seed, workers_grid=grid
+        )
+    finally:
+        shutdown_pools()
+    check_scale_cases(cases)
+    trajectory = write_scale_trajectory(
+        cases, grid="small" if args.small else "full"
+    )
+    if args.json:
+        print(json.dumps([case.to_dict() for case in cases], indent=2))
+        return 0
+    headers, rows = scale_table(cases)
+    print(
+        render_table(
+            headers,
+            rows,
+            title=(
+                "Process-substrate scaling, oracle-verified "
                 f"(grid={'small' if args.small else 'full'}, "
                 f"seed={args.seed}; trajectory appended to {trajectory})"
             ),
@@ -394,6 +460,27 @@ def main(argv: list[str] | None = None) -> int:
         help="bench: shrink the grid to CI-smoke sizes",
     )
     parser.add_argument(
+        "--backend",
+        default="sim",
+        choices=["sim", "process"],
+        help=(
+            "table1/compare: execution substrate — the cost-model "
+            "simulator or shared-memory worker processes (default sim)"
+        ),
+    )
+    parser.add_argument(
+        "--executor",
+        default="thread",
+        choices=["thread", "process"],
+        help="table1: batch executor for the plan grid (default thread)",
+    )
+    parser.add_argument(
+        "--num-workers",
+        type=int,
+        default=2,
+        help="worker ranks for --backend process (default 2)",
+    )
+    parser.add_argument(
         "command",
         choices=[
             "table1",
@@ -410,13 +497,18 @@ def main(argv: list[str] | None = None) -> int:
         "subcommand",
         nargs="?",
         default=None,
-        help="bench: which benchmark to run (currently only 'speed')",
+        help="bench: which benchmark to run ('speed' or 'scale')",
     )
     args = parser.parse_args(argv)
     if args.command != "bench" and args.subcommand is not None:
         parser.error(f"unrecognized arguments: {args.subcommand}")
     if args.command == "bench" and args.subcommand is None:
         args.subcommand = "speed"
+    if args.executor == "process" and args.backend == "process":
+        parser.error(
+            "--executor process and --backend process are mutually "
+            "exclusive (workers cannot host nested worker pools)"
+        )
     handlers = {
         "table1": _cmd_table1,
         "compare": _cmd_compare,

@@ -207,6 +207,13 @@ def _prepare_replication(
     return prepared, "intersection R-replication multicast"
 
 
+# Public aliases: the scale benchmark (analysis/scale.py) drives the
+# same prepared workloads through the process substrate.
+prepare_uniform_hash = _prepare_uniform_hash
+prepare_components = _prepare_components
+prepare_replication = _prepare_replication
+
+
 def _run_round(
     tree: TreeTopology, prepared: list, mode: str, tag: str = "recv"
 ) -> tuple[float, Cluster]:
@@ -336,15 +343,23 @@ def default_trajectory_path() -> Path:
 
 
 def write_trajectory(
-    cases: list[SpeedCase],
+    cases: list,
     *,
     grid: str,
     path: str | os.PathLike | None = None,
     max_runs: int = 50,
+    benchmark: str = "bench_speed",
+    extra: dict | None = None,
 ) -> Path:
-    """Append one run entry to the ``BENCH_*.json`` trajectory file."""
+    """Append one run entry to a ``BENCH_*.json`` trajectory file.
+
+    Shared by every substrate benchmark: ``cases`` only needs a
+    ``to_dict()`` per item, ``benchmark`` names the harness, and
+    ``extra`` merges additional run-level facts (e.g. the machine's
+    core count for the scaling grid).
+    """
     path = Path(path) if path is not None else default_trajectory_path()
-    payload: dict = {"benchmark": "bench_speed", "unit": "seconds", "runs": []}
+    payload: dict = {"benchmark": benchmark, "unit": "seconds", "runs": []}
     if path.exists():
         try:
             existing = json.loads(path.read_text())
@@ -352,13 +367,14 @@ def write_trajectory(
                 payload["runs"] = existing["runs"]
         except (ValueError, OSError):  # pragma: no cover - corrupt file
             pass
-    payload["runs"].append(
-        {
-            "date": time.strftime("%Y-%m-%d"),
-            "grid": grid,
-            "cases": [case.to_dict() for case in cases],
-        }
-    )
+    entry = {
+        "date": time.strftime("%Y-%m-%d"),
+        "grid": grid,
+        "cases": [case.to_dict() for case in cases],
+    }
+    if extra:
+        entry.update(extra)
+    payload["runs"].append(entry)
     payload["runs"] = payload["runs"][-max_runs:]
     path.write_text(json.dumps(payload, indent=2, allow_nan=False) + "\n")
     return path

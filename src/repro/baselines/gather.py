@@ -17,7 +17,7 @@ from repro.queries.aggregate import combine_per_key
 from repro.queries.join import local_join
 from repro.queries.tuples import DEFAULT_PAYLOAD_BITS, decode_tuples
 from repro.registry import register_protocol
-from repro.sim.cluster import Cluster
+from repro.sim.cluster import make_cluster
 from repro.sim.protocol import ProtocolResult
 from repro.topology.tree import NodeId, TreeTopology, node_sort_key
 
@@ -52,7 +52,7 @@ def gather_intersect(
     distribution.validate_for(tree)
     if target is None:
         target = _pick_target(tree, distribution, (r_tag, s_tag))
-    cluster = Cluster(tree, distribution, bits_per_element=bits_per_element)
+    cluster = make_cluster(tree, distribution, bits_per_element=bits_per_element)
     with cluster.round() as ctx:
         for node in cluster.compute_order:
             if node == target:
@@ -99,7 +99,7 @@ def gather_sort(
     distribution.validate_for(tree)
     if target is None:
         target = _pick_target(tree, distribution, (tag,))
-    cluster = Cluster(tree, distribution, bits_per_element=bits_per_element)
+    cluster = make_cluster(tree, distribution, bits_per_element=bits_per_element)
     with cluster.round() as ctx:
         for node in cluster.compute_order:
             if node == target:
@@ -140,7 +140,7 @@ def gather_cartesian_product(
     distribution.validate_for(tree)
     if target is None:
         target = _pick_target(tree, distribution, (r_tag, s_tag))
-    cluster = Cluster(tree, distribution, bits_per_element=bits_per_element)
+    cluster = make_cluster(tree, distribution, bits_per_element=bits_per_element)
     outputs = gather_all_pairs(
         cluster, target, r_tag=r_tag, s_tag=s_tag, materialize=materialize
     )
@@ -171,7 +171,7 @@ def gather_equijoin(
     distribution.validate_for(tree)
     if target is None:
         target = _pick_target(tree, distribution, (r_tag, s_tag))
-    cluster = Cluster(tree, distribution, bits_per_element=bits_per_element)
+    cluster = make_cluster(tree, distribution, bits_per_element=bits_per_element)
     with cluster.round() as ctx:
         for node in cluster.compute_order:
             if node == target:
@@ -225,7 +225,7 @@ def gather_groupby(
     distribution.validate_for(tree)
     if target is None:
         target = _pick_target(tree, distribution, (tag,))
-    cluster = Cluster(tree, distribution, bits_per_element=bits_per_element)
+    cluster = make_cluster(tree, distribution, bits_per_element=bits_per_element)
     with cluster.round() as ctx:
         for node in cluster.compute_order:
             if node == target:

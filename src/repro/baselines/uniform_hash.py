@@ -17,7 +17,7 @@ from repro.queries.aggregate import combine_per_key
 from repro.queries.join import local_join
 from repro.queries.tuples import DEFAULT_PAYLOAD_BITS, decode_tuples, encode_tuples
 from repro.registry import register_protocol
-from repro.sim.cluster import Cluster
+from repro.sim.cluster import make_cluster
 from repro.sim.protocol import ProtocolResult
 from repro.topology.tree import TreeTopology, node_sort_key
 from repro.util.hashing import WeightedNodeHasher
@@ -52,7 +52,7 @@ def uniform_hash_intersect(
     hasher = WeightedNodeHasher(
         computes, [1.0] * len(computes), derive_seed(seed, "uniform-hash")
     )
-    cluster = Cluster(tree, distribution, bits_per_element=bits_per_element)
+    cluster = make_cluster(tree, distribution, bits_per_element=bits_per_element)
     with cluster.round() as ctx:
         for node in computes:
             for tag, recv in ((r_tag, _R_RECV), (s_tag, _S_RECV)):
@@ -101,7 +101,7 @@ def uniform_hash_equijoin(
     hasher = WeightedNodeHasher(
         computes, [1.0] * len(computes), derive_seed(seed, "uniform-join")
     )
-    cluster = Cluster(tree, distribution, bits_per_element=bits_per_element)
+    cluster = make_cluster(tree, distribution, bits_per_element=bits_per_element)
     with cluster.round() as ctx:
         for node in computes:
             for tag, recv in ((r_tag, _JOIN_R_RECV), (s_tag, _JOIN_S_RECV)):
@@ -160,7 +160,7 @@ def uniform_hash_groupby(
     )
     combine_op = op
     final_op = "sum" if op == "count" else op
-    cluster = Cluster(tree, distribution, bits_per_element=bits_per_element)
+    cluster = make_cluster(tree, distribution, bits_per_element=bits_per_element)
     with cluster.round() as ctx:
         for v in computes:
             local = cluster.local(v, tag)

@@ -43,7 +43,7 @@ from repro.core.common import LowerBound
 from repro.data.distribution import Distribution
 from repro.errors import PackingError, ProtocolError
 from repro.registry import register_protocol
-from repro.sim.cluster import Cluster
+from repro.sim.cluster import make_cluster
 from repro.sim.protocol import ProtocolResult
 from repro.topology.tree import NodeId, TreeTopology, node_sort_key
 from repro.util.intmath import next_power_of_two_at_least
@@ -299,7 +299,7 @@ def _strategy_gather(tree, distribution, r_tag, s_tag, bits) -> ProtocolResult:
     target = max(
         sorted(bandwidths, key=node_sort_key), key=lambda v: bandwidths[v]
     )
-    cluster = Cluster(tree, distribution, bits_per_element=bits)
+    cluster = make_cluster(tree, distribution, bits_per_element=bits)
     outputs = gather_all_pairs(
         cluster, target, r_tag=r_tag, s_tag=s_tag, materialize=False
     )
@@ -329,7 +329,7 @@ def _strategy_proportional(
         return None
     bandwidths = _star_leaf_bandwidths(tree)
     weights = np.array([bandwidths[v] for v in beta])
-    cluster = Cluster(tree, distribution, bits_per_element=bits)
+    cluster = make_cluster(tree, distribution, bits_per_element=bits)
     computes = sorted(tree.compute_nodes, key=node_sort_key)
     r_size = distribution.total(r_tag)
     with cluster.round() as ctx:
@@ -391,7 +391,7 @@ def _strategy_generalized_whc(
         tree, Distribution(sub_placements), r_tag="R#", s_tag="S#"
     )
 
-    cluster = Cluster(tree, distribution, bits_per_element=bits)
+    cluster = make_cluster(tree, distribution, bits_per_element=bits)
     with cluster.round() as ctx:
         _broadcast_r_to_beta(ctx, cluster, computes, beta, r_tag)
         if alpha and alpha_s:
@@ -465,7 +465,7 @@ def generalized_star_cartesian_product(
     }
     total = sum(sizes.values())
     if total == 0 or r_size == 0:
-        cluster = Cluster(tree, distribution, bits_per_element=bits_per_element)
+        cluster = make_cluster(tree, distribution, bits_per_element=bits_per_element)
         outputs = {v: {"num_pairs": 0} for v in computes}
         return ProtocolResult.from_ledger(
             "unequal-star-cartesian", cluster.ledger, outputs=outputs,
@@ -474,7 +474,7 @@ def generalized_star_cartesian_product(
 
     heaviest = max(computes, key=lambda v: sizes[v])
     if sizes[heaviest] > total / 2:
-        cluster = Cluster(tree, distribution, bits_per_element=bits_per_element)
+        cluster = make_cluster(tree, distribution, bits_per_element=bits_per_element)
         outputs = gather_all_pairs(
             cluster, heaviest, r_tag=small, s_tag=large, materialize=False
         )

@@ -17,7 +17,7 @@ import numpy as np
 from repro.data.distribution import Distribution
 from repro.errors import ProtocolError
 from repro.registry import register_protocol
-from repro.sim.cluster import Cluster
+from repro.sim.cluster import make_cluster
 from repro.sim.protocol import ProtocolResult
 from repro.topology.tree import TreeTopology, node_sort_key
 from repro.util.hashing import WeightedNodeHasher
@@ -84,7 +84,7 @@ def star_intersect(
         else None
     )
 
-    cluster = Cluster(tree, distribution, bits_per_element=bits_per_element)
+    cluster = make_cluster(tree, distribution, bits_per_element=bits_per_element)
     # One Steiner destination set per candidate owner: the hashed node
     # plus every data-rich Vβ node (which all receive a full R copy).
     destination_sets = [beta_set | {v} for v in computes]

@@ -20,7 +20,7 @@ import numpy as np
 from repro.core.intersection.partition import balanced_partition, classify_edges
 from repro.data.distribution import Distribution
 from repro.registry import register_protocol
-from repro.sim.cluster import Cluster
+from repro.sim.cluster import make_cluster
 from repro.sim.protocol import ProtocolResult
 from repro.topology.tree import TreeTopology, node_sort_key
 from repro.util.hashing import WeightedNodeHasher
@@ -88,7 +88,7 @@ def tree_intersect(
             hashers.append(None)
 
     active = [i for i, h in enumerate(hashers) if h is not None]
-    cluster = Cluster(tree, distribution, bits_per_element=bits_per_element)
+    cluster = make_cluster(tree, distribution, bits_per_element=bits_per_element)
 
     with cluster.round() as ctx:
         for v in computes:

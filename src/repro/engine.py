@@ -12,12 +12,17 @@ computes the task's lower bound, and packages everything into a
 Batch execution goes through :func:`run_many`, which evaluates a list
 of :class:`RunPlan` objects concurrently (the simulator is pure Python +
 numpy, and distinct runs share no state, so a thread pool is safe) and
-returns reports in plan order.
+returns reports in plan order.  Both entry points select the execution
+substrate: ``run(..., backend="process")`` executes every round of the
+protocol across shared-memory worker processes
+(:mod:`repro.parallel`), and ``run_many(..., executor="process")``
+distributes whole plans over the same worker pool.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -38,6 +43,7 @@ from repro.registry import (
     get_task,
     register_task,
 )
+from repro.sim.cluster import current_backend, use_backend
 from repro.sim.protocol import ProtocolResult
 from repro.topology.tree import TreeTopology
 
@@ -191,6 +197,8 @@ def run(
     seed: int = 0,
     placement: str = "custom",
     verify: bool = True,
+    backend: str | None = None,
+    num_workers: int | None = None,
     **opts,
 ) -> RunReport:
     """Run one protocol on one instance and report cost versus bound.
@@ -212,6 +220,15 @@ def run(
         Label recorded in the report (the placement policy name).
     verify:
         Check the answer with the task's verifier before reporting.
+    backend:
+        Execution substrate: ``"sim"`` (the cost-model simulator) or
+        ``"process"`` (shared-memory worker processes).  ``None``
+        keeps the ambient backend (``use_backend`` context, default
+        ``"sim"``).  The protocol's spec must list the backend in its
+        ``backends`` capability tuple.
+    num_workers:
+        Worker-rank count for ``backend="process"``; ignored (and
+        rejected) on the simulator.
     opts:
         Extra keyword arguments forwarded to the protocol unchanged
         (e.g. ``blocks=...`` for ablations, ``materialize=True``).
@@ -224,6 +241,8 @@ def run(
         seed=seed,
         placement=placement,
         verify=verify,
+        backend=backend,
+        num_workers=num_workers,
         **opts,
     )
     return report
@@ -238,6 +257,8 @@ def run_with_result(
     seed: int = 0,
     placement: str = "custom",
     verify: bool = True,
+    backend: str | None = None,
+    num_workers: int | None = None,
     **opts,
 ) -> tuple[RunReport, ProtocolResult]:
     """Like :func:`run`, but also return the raw :class:`ProtocolResult`.
@@ -248,7 +269,28 @@ def run_with_result(
     """
     task_spec = get_task(task)
     spec = get_protocol(task_spec.name, protocol or task_spec.default_protocol)
-    result = spec.call(tree, distribution, seed=seed, **opts)
+    resolved_backend = backend if backend is not None else current_backend()
+    if resolved_backend not in spec.backends:
+        raise AnalysisError(
+            f"protocol {spec.name!r} supports backends "
+            f"{list(spec.backends)}, not {resolved_backend!r}"
+        )
+    if backend is not None:
+        backend_opts = {}
+        if num_workers is not None:
+            if backend != "process":
+                raise AnalysisError(
+                    "num_workers only applies to backend='process', "
+                    f"not {backend!r}"
+                )
+            backend_opts["num_workers"] = num_workers
+        substrate = use_backend(backend, **backend_opts)
+    elif num_workers is not None:
+        raise AnalysisError("num_workers requires an explicit backend")
+    else:
+        substrate = nullcontext()
+    with substrate:
+        result = spec.call(tree, distribution, seed=seed, **opts)
     if verify and task_spec.verifier is not None:
         task_spec.verifier(tree, distribution, result)
     bound = None
@@ -287,6 +329,8 @@ class RunPlan:
     seed: int = 0
     placement: str = "custom"
     verify: bool = True
+    backend: str | None = None
+    num_workers: int | None = None
     opts: dict = field(default_factory=dict)
 
     def execute(self) -> RunReport:
@@ -298,6 +342,8 @@ class RunPlan:
             seed=self.seed,
             placement=self.placement,
             verify=self.verify,
+            backend=self.backend,
+            num_workers=self.num_workers,
             **self.opts,
         )
 
@@ -322,10 +368,15 @@ def _execute_annotated(indexed: tuple[int, RunPlan]) -> RunReport:
         raise
 
 
+#: Dispatch target for plans shipped to pool workers.
+PLAN_JOB = "repro.engine:_execute_annotated"
+
+
 def run_many(
     plans: Iterable[RunPlan | dict],
     *,
     workers: int | None = None,
+    executor: str = "thread",
 ) -> list[RunReport]:
     """Execute plans concurrently; reports come back in plan order.
 
@@ -334,9 +385,22 @@ def run_many(
     sequential loop, so failures surface with clean tracebacks; any
     worker's exception propagates after the pool drains, annotated with
     the failing plan's index and task name.
+
+    ``executor`` picks the batch substrate: ``"thread"`` (default) maps
+    plans over a thread pool — fine for the simulator, which releases
+    the GIL in its numpy kernels — while ``"process"`` scatters whole
+    plans round-robin over the shared worker-process pool
+    (:func:`repro.parallel.pool.get_pool`), escaping the GIL entirely.
+    Plans and reports cross the process boundary by pickling, so
+    ``"process"`` requires picklable plan fields (every in-repo
+    topology/distribution is).
     """
     if workers is not None and workers < 1:
         raise AnalysisError(f"workers must be >= 1, got {workers}")
+    if executor not in ("thread", "process"):
+        raise AnalysisError(
+            f"executor must be 'thread' or 'process', got {executor!r}"
+        )
     normalized: list[RunPlan] = [
         plan if isinstance(plan, RunPlan) else RunPlan(**plan)
         for plan in plans
@@ -347,6 +411,11 @@ def run_many(
         return [
             _execute_annotated(indexed) for indexed in enumerate(normalized)
         ]
+    if executor == "process":
+        from repro.parallel.pool import get_pool
+
+        pool = get_pool(workers if workers is not None else 2)
+        return pool.scatter(PLAN_JOB, list(enumerate(normalized)))
     with ThreadPoolExecutor(max_workers=workers) as pool:
         return list(pool.map(_execute_annotated, enumerate(normalized)))
 

@@ -27,7 +27,7 @@ from contextlib import contextmanager
 from typing import Iterator
 
 from repro.report import GraphRunReport, RunReport
-from repro.sim.cluster import Cluster, RoundContext
+from repro.sim.cluster import Cluster, RoundContext, make_cluster
 from repro.sim.ledger import CostLedger
 from repro.sim.protocol import ProtocolResult
 from repro.topology.tree import TreeTopology
@@ -40,7 +40,7 @@ class SuperstepDriver:
         self, tree: TreeTopology, *, bits_per_element: int = 64
     ) -> None:
         self._tree = tree
-        self._cluster = Cluster(tree, bits_per_element=bits_per_element)
+        self._cluster = make_cluster(tree, bits_per_element=bits_per_element)
         self._steps: list[RunReport] = []
 
     @property

@@ -1,0 +1,36 @@
+"""Real-parallel execution substrate: shared-memory worker processes.
+
+Importing this package registers the ``"process"`` execution backend
+with :mod:`repro.sim.cluster`, making
+``make_cluster``/``use_backend("process")`` — and therefore
+``engine.run(..., backend="process")`` — able to run protocol rounds
+across OS processes with the simulated ledger as byte-identical oracle.
+"""
+
+from repro.parallel.backend import ParallelCluster, ParallelRoundContext
+from repro.parallel.oracle import (
+    LedgerOracle,
+    OracleMismatch,
+    assert_clusters_identical,
+)
+from repro.parallel.pool import (
+    WorkerPool,
+    default_start_method,
+    get_pool,
+    shutdown_pools,
+)
+from repro.parallel.shmem import SharedArrayPool, attach_array
+
+__all__ = [
+    "LedgerOracle",
+    "OracleMismatch",
+    "ParallelCluster",
+    "ParallelRoundContext",
+    "SharedArrayPool",
+    "WorkerPool",
+    "assert_clusters_identical",
+    "attach_array",
+    "default_start_method",
+    "get_pool",
+    "shutdown_pools",
+]

@@ -1,0 +1,235 @@
+"""Shared-memory array blocks: allocation, recycling, worker attachment.
+
+The parallel substrate moves a round's columnar payloads — destination
+id arrays and element arrays — between the master and its worker
+processes through :class:`multiprocessing.shared_memory.SharedMemory`
+segments instead of pickled queue messages, so a 10^6-element shuffle
+crosses the process boundary as one page-table mapping rather than a
+copy per queue hop.
+
+Ownership model
+---------------
+
+* The **master** allocates every segment through a
+  :class:`SharedArrayPool` and is the only process that ever creates or
+  unlinks one.  Freed segments go back to a size-class free list and
+  are recycled for later rounds (allocation rounds sizes up to a power
+  of two so a slightly larger round reuses the previous round's block).
+* **Workers** only ever *attach* by name via :func:`attach_array`; the
+  attachment is cached per process and never registered with the
+  ``resource_tracker`` (registration is suppressed during the attach),
+  so a worker exiting neither unlinks nor warns about a segment the
+  master still owns — the well-known CPython gotcha with cross-process
+  ``SharedMemory`` use.
+* :meth:`SharedArrayPool.destroy` closes and unlinks everything; the
+  worker pool calls it on shutdown, so a clean exit leaves no
+  ``/dev/shm`` blocks behind (the robustness tests assert exactly
+  that).
+
+An :class:`ArraySpec` is the picklable handle shipped in job payloads:
+``(segment name, dtype, element count)``; both sides reconstruct the
+numpy view with :meth:`ArraySpec.open` / :func:`attach_array`.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from itertools import count
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+#: Prefix of every segment the substrate creates; the leak tests (and a
+#: worried operator) can ``ls /dev/shm/repro-shm-*`` to find strays.
+SEGMENT_PREFIX = "repro-shm"
+
+_SEGMENT_SEQUENCE = count()
+
+#: Smallest segment we bother allocating; sub-page blocks fragment the
+#: free list without saving memory.
+_MIN_SEGMENT_BYTES = 4096
+
+
+#: Segments whose ``close()`` failed because a numpy view is still
+#: alive.  Kept referenced so their ``__del__`` (which would retry the
+#: close and raise an unraisable ``BufferError`` at GC time) never
+#: runs; the OS reclaims the pages when the process exits.
+_GRAVEYARD: list = []
+
+
+def _close_or_park(shm: shared_memory.SharedMemory) -> None:
+    try:
+        shm.close()
+    except BufferError:
+        _GRAVEYARD.append(shm)
+
+
+def _round_up_pow2(nbytes: int) -> int:
+    """Size class for recycling: next power of two >= ``nbytes``."""
+    size = _MIN_SEGMENT_BYTES
+    while size < nbytes:
+        size <<= 1
+    return size
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """A picklable handle to a numpy array living in a shared segment."""
+
+    name: str
+    dtype: str
+    count: int
+
+    def open(self, buffer) -> np.ndarray:
+        """View the first ``count`` elements of ``buffer`` as ``dtype``."""
+        return np.frombuffer(buffer, dtype=np.dtype(self.dtype), count=self.count)
+
+
+class Segment:
+    """One master-owned shared-memory block (plus its recycling size)."""
+
+    __slots__ = ("shm", "capacity")
+
+    def __init__(self, shm: shared_memory.SharedMemory, capacity: int) -> None:
+        self.shm = shm
+        self.capacity = capacity
+
+    @property
+    def name(self) -> str:
+        return self.shm.name
+
+    def ndarray(self, dtype, num_elements: int) -> np.ndarray:
+        """A writable view of the segment's first ``num_elements``."""
+        return np.frombuffer(self.shm.buf, dtype=dtype, count=num_elements)
+
+    def spec(self, dtype, num_elements: int) -> ArraySpec:
+        return ArraySpec(
+            name=self.name, dtype=np.dtype(dtype).str, count=num_elements
+        )
+
+
+class SharedArrayPool:
+    """Master-side allocator with a power-of-two free list.
+
+    ``lease_array`` is the workhorse: it returns a ``(segment, view)``
+    pair sized for ``num_elements`` of ``dtype``, reusing a free block
+    when one is large enough.  Callers hand blocks back with
+    ``release`` when the round no longer references them; blocks whose
+    views were installed into cluster storage stay leased until the
+    cluster closes.
+    """
+
+    def __init__(self) -> None:
+        self._free: dict[int, list[Segment]] = {}
+        self._all: dict[str, Segment] = {}
+        self._destroyed = False
+
+    # ------------------------------------------------------------------ #
+    # allocation
+    # ------------------------------------------------------------------ #
+
+    def _allocate(self, nbytes: int) -> Segment:
+        if self._destroyed:
+            raise AnalysisError("shared-memory pool already destroyed")
+        capacity = _round_up_pow2(max(int(nbytes), 1))
+        bucket = self._free.get(capacity)
+        if bucket:
+            return bucket.pop()
+        name = f"{SEGMENT_PREFIX}-{os.getpid()}-{next(_SEGMENT_SEQUENCE)}"
+        shm = shared_memory.SharedMemory(
+            name=name, create=True, size=capacity
+        )
+        segment = Segment(shm, capacity)
+        self._all[segment.name] = segment
+        return segment
+
+    def lease_array(
+        self, dtype, num_elements: int
+    ) -> tuple[Segment, np.ndarray]:
+        """Lease a segment holding ``num_elements`` of ``dtype``."""
+        dtype = np.dtype(dtype)
+        segment = self._allocate(dtype.itemsize * max(num_elements, 1))
+        return segment, segment.ndarray(dtype, num_elements)
+
+    def release(self, segment: Segment) -> None:
+        """Return a leased segment to the free list for recycling."""
+        if self._destroyed or segment.name not in self._all:
+            return
+        self._free.setdefault(segment.capacity, []).append(segment)
+
+    # ------------------------------------------------------------------ #
+    # teardown / introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_segments(self) -> int:
+        return len(self._all)
+
+    @property
+    def segment_names(self) -> list[str]:
+        return sorted(self._all)
+
+    def destroy(self) -> None:
+        """Close and unlink every segment this pool ever created."""
+        if self._destroyed:
+            return
+        self._destroyed = True
+        for segment in self._all.values():
+            # A BufferError here means a numpy view into the segment is
+            # still alive (cluster storage after an aborted round); the
+            # segment is parked instead of closed, the unlink below
+            # still removes the /dev/shm entry, and the mapping stays
+            # valid in-process until the last view dies.
+            _close_or_park(segment.shm)
+            try:
+                segment.shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._all.clear()
+        self._free.clear()
+
+
+# ---------------------------------------------------------------------- #
+# worker side
+# ---------------------------------------------------------------------- #
+
+#: Per-process cache of attached segments, ``name -> SharedMemory``.
+#: Segment names are never reused within one master process (a global
+#: sequence number), so a cached attachment can never alias a different
+#: block.
+_ATTACHED: dict[str, shared_memory.SharedMemory] = {}
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    shm = _ATTACHED.get(name)
+    if shm is None:
+        # Attaching registers the segment with the resource tracker as
+        # if this process were the owner.  Under ``fork`` the worker
+        # *shares* the master's tracker process, so an unregister-after
+        # approach would erase the master's own registration (and its
+        # later ``unlink`` would then crash the tracker).  Suppress
+        # registration during the attach instead — the portable
+        # pre-3.13 spelling of ``track=False``.
+        original_register = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            shm = shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original_register
+        _ATTACHED[name] = shm
+    return shm
+
+
+def attach_array(spec: ArraySpec) -> np.ndarray:
+    """Open ``spec`` in this process (workers; cached per segment)."""
+    return spec.open(_attach(spec.name).buf)
+
+
+def detach_all() -> None:
+    """Close every cached attachment (worker shutdown path)."""
+    for shm in _ATTACHED.values():
+        _close_or_park(shm)
+    _ATTACHED.clear()

@@ -28,7 +28,7 @@ from repro.data.distribution import Distribution
 from repro.errors import ProtocolError
 from repro.queries.tuples import DEFAULT_PAYLOAD_BITS, decode_tuples, encode_tuples
 from repro.registry import register_protocol
-from repro.sim.cluster import Cluster
+from repro.sim.cluster import make_cluster
 from repro.sim.protocol import ProtocolResult
 from repro.topology.tree import TreeTopology, node_sort_key
 from repro.util.hashing import WeightedNodeHasher
@@ -152,7 +152,7 @@ def tree_groupby_aggregate(
     computes = sorted(tree.compute_nodes, key=node_sort_key)
     sizes = {v: distribution.size(v, tag) for v in computes}
     total = sum(sizes.values())
-    cluster = Cluster(tree, distribution, bits_per_element=bits_per_element)
+    cluster = make_cluster(tree, distribution, bits_per_element=bits_per_element)
     if total == 0:
         return ProtocolResult.from_ledger(
             "tree-groupby", cluster.ledger,

@@ -30,7 +30,7 @@ from repro.core.common import LowerBound
 from repro.data.distribution import Distribution
 from repro.queries.tuples import DEFAULT_PAYLOAD_BITS, decode_tuples
 from repro.registry import register_protocol
-from repro.sim.cluster import Cluster
+from repro.sim.cluster import make_cluster
 from repro.sim.protocol import ProtocolResult
 from repro.topology.tree import TreeTopology, node_sort_key
 from repro.util.hashing import WeightedNodeHasher
@@ -166,7 +166,7 @@ def tree_equijoin(
         )
     active = [i for i, h in enumerate(hashers) if h is not None]
 
-    cluster = Cluster(tree, distribution, bits_per_element=bits_per_element)
+    cluster = make_cluster(tree, distribution, bits_per_element=bits_per_element)
     with cluster.round() as ctx:
         for v in computes:
             r_local = cluster.local(v, small_tag)

@@ -60,6 +60,14 @@ class ProtocolSpec:
     topology:
         ``None`` if the protocol runs on any symmetric tree, otherwise
         the topology family it requires (e.g. ``"star"``).
+    backends:
+        Execution backends the protocol is known to run on.  Protocols
+        build their cluster through
+        :func:`repro.sim.cluster.make_cluster`, so by default they run
+        on every registered substrate; a protocol that hard-requires
+        the simulator (e.g. it forces the legacy per-send exchange
+        path) declares ``backends=("sim",)`` and the engine refuses to
+        dispatch it elsewhere.
     description:
         One-line summary shown by ``python -m repro protocols``.
     """
@@ -70,6 +78,7 @@ class ProtocolSpec:
     kind: str = "algorithm"
     accepts_seed: bool = False
     topology: str | None = None
+    backends: tuple = ("sim", "process")
     description: str = ""
 
     def call(self, tree, distribution, *, seed: int = 0, **kwargs):
@@ -127,6 +136,7 @@ def register_protocol(
     kind: str = "algorithm",
     accepts_seed: bool = False,
     topology: str | None = None,
+    backends: tuple = ("sim", "process"),
     description: str | None = None,
 ) -> Callable:
     """Class the decorated callable into the catalog; returns it unchanged.
@@ -170,6 +180,7 @@ def register_protocol(
             kind=kind,
             accepts_seed=accepts_seed,
             topology=topology,
+            backends=tuple(backends),
             description=summary,
         )
         return func

@@ -30,8 +30,9 @@ ledgers.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
-from typing import Hashable, Iterable, Iterator, Sequence
+from typing import Callable, Hashable, Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -66,6 +67,105 @@ def use_exchange_mode(mode: str) -> Iterator[None]:
         yield
     finally:
         DEFAULT_EXCHANGE_MODE = previous
+
+
+# ---------------------------------------------------------------------- #
+# execution backends
+# ---------------------------------------------------------------------- #
+#
+# Protocols construct their cluster through :func:`make_cluster`, which
+# dispatches to the *active backend*: ``"sim"`` (this module's
+# single-process :class:`Cluster`) or any substrate registered via
+# :func:`register_backend` — ``"process"`` is the shared-memory
+# multiprocessing substrate in :mod:`repro.parallel.backend`.  The
+# active backend is thread-local so concurrent ``run_many`` plans can
+# run under different backends without racing.
+
+_BACKEND_FACTORIES: dict[str, Callable] = {}
+
+
+class _BackendState(threading.local):
+    def __init__(self) -> None:
+        self.name = "sim"
+        self.opts: dict = {}
+
+
+_BACKEND_STATE = _BackendState()
+
+
+def register_backend(name: str, factory: Callable) -> None:
+    """Register a cluster factory ``factory(tree, distribution, **opts)``."""
+    _BACKEND_FACTORIES[name] = factory
+
+
+def reset_backend() -> None:
+    """Restore this thread's backend to the default simulator.
+
+    Forked worker processes call this on startup: a worker forked while
+    the master sat inside ``use_backend("process")`` would otherwise
+    inherit that state and recursively ask for a pool of its own.
+    """
+    _BACKEND_STATE.name = "sim"
+    _BACKEND_STATE.opts = {}
+
+
+def backend_names() -> tuple:
+    """Names of the registered execution backends."""
+    return tuple(sorted(_BACKEND_FACTORIES))
+
+
+def current_backend() -> str:
+    """The backend :func:`make_cluster` dispatches to in this thread."""
+    return _BACKEND_STATE.name
+
+
+def _resolve_backend(name: str) -> Callable:
+    if name not in _BACKEND_FACTORIES and name == "process":
+        # The process substrate registers itself on import; pull it in
+        # lazily so the simulator has no hard dependency on it.
+        import repro.parallel.backend  # noqa: F401
+    try:
+        return _BACKEND_FACTORIES[name]
+    except KeyError:
+        raise ProtocolError(
+            f"unknown execution backend {name!r}; "
+            f"registered: {backend_names()}"
+        ) from None
+
+
+@contextmanager
+def use_backend(name: str, **opts) -> Iterator[None]:
+    """Route :func:`make_cluster` to backend ``name`` within the block.
+
+    ``opts`` are merged into every cluster construction (e.g.
+    ``num_workers=4, oracle=True`` for the process backend).  The
+    engine wraps protocol invocations in this context when the caller
+    selects ``backend="process"``, so protocols themselves stay
+    backend-agnostic.
+    """
+    _resolve_backend(name)
+    previous_name, previous_opts = _BACKEND_STATE.name, _BACKEND_STATE.opts
+    _BACKEND_STATE.name = name
+    _BACKEND_STATE.opts = dict(opts)
+    try:
+        yield
+    finally:
+        _BACKEND_STATE.name = previous_name
+        _BACKEND_STATE.opts = previous_opts
+
+
+def make_cluster(
+    tree: TreeTopology, distribution: Distribution | None = None, **kwargs
+) -> "Cluster":
+    """Build a cluster on the active execution backend.
+
+    This is the constructor every protocol uses; keyword arguments the
+    protocol passes (``bits_per_element``) override same-named backend
+    options installed by :func:`use_backend`.
+    """
+    factory = _resolve_backend(_BACKEND_STATE.name)
+    merged = {**_BACKEND_STATE.opts, **kwargs}
+    return factory(tree, distribution, **merged)
 
 
 class RoundContext:
@@ -396,44 +496,13 @@ class RoundContext:
         loads equal the per-transfer path's exactly.
         """
         cluster = self._cluster
-        oracle = cluster.oracle
         storage = cluster._storage
-        received = cluster._received_elements
         cluster.ledger.open_round()
         loads: dict = {}
-        pair_matrix: np.ndarray | None = None
 
         if self._unicast_stream:
-            routing = oracle.routing_index
-            index_of = routing.index_of
+            routing, by_tag, pair_matrix = self._collect_unicasts()
             node_names = routing.nodes
-            size = routing.num_nodes
-            # (src, dst) -> element count, accumulated as a dense matrix
-            # (node counts are small; 1024 nodes is an 8 MB matrix)
-            pair_matrix = np.zeros((size, size), dtype=np.int64)
-            lookup_dtype = np.int16 if size < 2**15 else np.int64
-            by_tag: dict[str, list[tuple[np.ndarray, np.ndarray]]] = {}
-            for src, node_list, target_indices, payload, tag in (
-                self._unicast_stream
-            ):
-                if target_indices is None:  # send(): one constant target
-                    dst_id = index_of[node_list[0]]
-                    dst_ids = np.full(len(payload), dst_id, lookup_dtype)
-                    pair_matrix[index_of[src], dst_id] += len(payload)
-                else:
-                    if node_list is None:
-                        lookup = cluster._compute_lookup(routing, lookup_dtype)
-                    else:
-                        lookup = np.fromiter(
-                            (index_of[n] for n in node_list),
-                            lookup_dtype,
-                            len(node_list),
-                        )
-                    dst_ids = lookup[target_indices]
-                    pair_matrix[index_of[src]] += np.bincount(
-                        dst_ids, minlength=size
-                    )
-                by_tag.setdefault(tag, []).append((dst_ids, payload))
             # deliver: one grouping pass per tag over the whole round;
             # the argsort is stable and parts are concatenated in
             # registration order, so per-(dst, tag) contents match the
@@ -452,23 +521,75 @@ class RoundContext:
                     storage.setdefault(node_names[dst_id], {}).setdefault(
                         tag, []
                     ).append(sorted_payload[start:end])
-
-        if pair_matrix is not None:
-            src_ids, dst_ids = np.nonzero(pair_matrix)
-            counts = pair_matrix[src_ids, dst_ids]
-            loads = routing.unicast_loads(src_ids, dst_ids, counts)
-            remote = src_ids != dst_ids
-            arrivals = np.zeros(size, dtype=np.int64)
-            np.add.at(arrivals, dst_ids[remote], counts[remote])
-            for index in np.flatnonzero(arrivals).tolist():
-                node = node_names[index]
-                received[node] = received.get(node, 0) + int(arrivals[index])
+            loads = self._apply_pair_loads(routing, pair_matrix)
 
         if self._multicasts:
             self._deliver_multicasts(loads)
         if loads:
             cluster.ledger.add_loads(loads.keys(), loads.values())
         cluster.ledger.close_round()
+
+    def _collect_unicasts(
+        self,
+    ) -> tuple[object, dict[str, list[tuple[np.ndarray, np.ndarray]]], np.ndarray]:
+        """Resolve the unicast stream into columnar per-tag parts.
+
+        Returns ``(routing_index, by_tag, pair_matrix)``: per tag, the
+        registration-ordered ``(dst_ids, payload)`` parts whose
+        concatenation is the round's full scatter for that tag, plus
+        the dense ``(src, dst) -> element count`` matrix that feeds the
+        vectorized tree-flow charger.  Shared by the in-process bulk
+        finalizer and the process-backend finalizer, which ships the
+        same columns to its workers — byte-identity between the two
+        substrates starts with collecting identical columns.
+        """
+        cluster = self._cluster
+        routing = cluster.oracle.routing_index
+        index_of = routing.index_of
+        size = routing.num_nodes
+        # (src, dst) -> element count, accumulated as a dense matrix
+        # (node counts are small; 1024 nodes is an 8 MB matrix)
+        pair_matrix = np.zeros((size, size), dtype=np.int64)
+        lookup_dtype = np.int16 if size < 2**15 else np.int64
+        by_tag: dict[str, list[tuple[np.ndarray, np.ndarray]]] = {}
+        for src, node_list, target_indices, payload, tag in (
+            self._unicast_stream
+        ):
+            if target_indices is None:  # send(): one constant target
+                dst_id = index_of[node_list[0]]
+                dst_ids = np.full(len(payload), dst_id, lookup_dtype)
+                pair_matrix[index_of[src], dst_id] += len(payload)
+            else:
+                if node_list is None:
+                    lookup = cluster._compute_lookup(routing, lookup_dtype)
+                else:
+                    lookup = np.fromiter(
+                        (index_of[n] for n in node_list),
+                        lookup_dtype,
+                        len(node_list),
+                    )
+                dst_ids = lookup[target_indices]
+                pair_matrix[index_of[src]] += np.bincount(
+                    dst_ids, minlength=size
+                )
+            by_tag.setdefault(tag, []).append((dst_ids, payload))
+        return routing, by_tag, pair_matrix
+
+    def _apply_pair_loads(self, routing, pair_matrix: np.ndarray) -> dict:
+        """Charge the pair matrix and record arrivals; returns edge loads."""
+        cluster = self._cluster
+        received = cluster._received_elements
+        node_names = routing.nodes
+        src_ids, dst_ids = np.nonzero(pair_matrix)
+        counts = pair_matrix[src_ids, dst_ids]
+        loads = routing.unicast_loads(src_ids, dst_ids, counts)
+        remote = src_ids != dst_ids
+        arrivals = np.zeros(routing.num_nodes, dtype=np.int64)
+        np.add.at(arrivals, dst_ids[remote], counts[remote])
+        for index in np.flatnonzero(arrivals).tolist():
+            node = node_names[index]
+            received[node] = received.get(node, 0) + int(arrivals[index])
+        return loads
 
     def _deliver_multicasts(self, loads: dict) -> None:
         """Deliver and charge the round's multicast stream in bulk.
@@ -714,6 +835,10 @@ class Cluster:
     # rounds
     # ------------------------------------------------------------------ #
 
+    def _make_round_context(self) -> RoundContext:
+        """Factory hook: substrates override to supply their finalizer."""
+        return RoundContext(self)
+
     @contextmanager
     def round(self) -> Iterator[RoundContext]:
         """Open a communication round.
@@ -724,7 +849,7 @@ class Cluster:
         if self._round_open:
             raise ProtocolError("a round is already in progress")
         self._round_open = True
-        context = RoundContext(self)
+        context = self._make_round_context()
         try:
             yield context
         finally:
@@ -734,3 +859,18 @@ class Cluster:
     @property
     def rounds_executed(self) -> int:
         return self.ledger.num_rounds
+
+    # ------------------------------------------------------------------ #
+    # substrate lifecycle
+    # ------------------------------------------------------------------ #
+
+    @property
+    def backend(self) -> str:
+        """Which execution substrate this cluster runs on."""
+        return "sim"
+
+    def close(self) -> None:
+        """Release substrate resources (no-op for the simulator)."""
+
+
+register_backend("sim", Cluster)

@@ -1,0 +1,193 @@
+"""Worker-pool lifecycle, dispatch, and cross-process seeding tests."""
+
+import multiprocessing
+from multiprocessing import shared_memory
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.parallel.pool import (
+    WorkerPool,
+    default_start_method,
+    get_pool,
+    shutdown_pools,
+)
+
+ECHO = "repro.parallel.pool:_echo_kernel"
+PROBE = "repro.parallel.pool:_rank_probe"
+BOOM = "repro.parallel.pool:_raise_kernel"
+
+
+@pytest.fixture
+def pool():
+    pool = WorkerPool(2, seed=0)
+    yield pool
+    pool.shutdown()
+
+
+class TestDispatch:
+    def test_broadcast_returns_per_rank_results(self, pool):
+        assert pool.broadcast(ECHO, ["a", "b"]) == ["a", "b"]
+
+    def test_broadcast_needs_one_payload_per_rank(self, pool):
+        with pytest.raises(ProtocolError, match="one payload per rank"):
+            pool.broadcast(ECHO, ["only-one"])
+
+    def test_scatter_preserves_item_order(self, pool):
+        items = list(range(7))
+        assert pool.scatter(ECHO, items) == items
+
+    def test_scatter_empty_is_noop(self, pool):
+        assert pool.scatter(ECHO, []) == []
+
+    def test_bad_target_spelling_rejected(self, pool):
+        with pytest.raises(ProtocolError, match="module:function"):
+            pool.broadcast("notamodulepath", [None, None])
+
+    def test_job_exception_reraised_with_rank_note(self, pool):
+        with pytest.raises(ValueError, match="boom") as info:
+            pool.broadcast(BOOM, ["x", "y"])
+        notes = getattr(info.value, "__notes__", ())
+        assert any("kernel-side note" in note for note in notes)
+        assert any("worker rank 0" in note for note in notes)
+
+    def test_pool_survives_job_exceptions(self, pool):
+        with pytest.raises(ValueError):
+            pool.broadcast(BOOM, ["x", "y"])
+        assert not pool.closed
+        assert pool.broadcast(ECHO, [1, 2]) == [1, 2]
+
+
+class TestLifecycle:
+    def test_requires_at_least_one_rank(self):
+        with pytest.raises(ProtocolError, match="at least one rank"):
+            WorkerPool(0)
+
+    def test_shutdown_unlinks_segments(self):
+        import numpy as np
+
+        pool = WorkerPool(1, seed=0)
+        segment, _ = pool.shm.lease_array(np.int64, 100)
+        name = segment.name
+        pool.shutdown()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_closed_pool_rejects_jobs(self):
+        pool = WorkerPool(1, seed=0)
+        pool.shutdown()
+        with pytest.raises(ProtocolError, match="closed"):
+            pool.broadcast(ECHO, [None])
+
+    def test_get_pool_caches_per_configuration(self):
+        try:
+            a = get_pool(2, seed=0)
+            b = get_pool(2, seed=0)
+            c = get_pool(2, seed=1)
+            assert a is b
+            assert a is not c
+        finally:
+            shutdown_pools()
+
+    def test_get_pool_is_thread_safe(self):
+        # A lost check-then-create race would orphan a spawned pool
+        # (live workers + segments shutdown_pools never sees); all
+        # threads must receive the one cached instance.
+        import threading
+
+        pools = []
+        barrier = threading.Barrier(8)
+
+        def grab():
+            barrier.wait()
+            pools.append(get_pool(2, seed=0))
+
+        try:
+            threads = [threading.Thread(target=grab) for _ in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert len(set(map(id, pools))) == 1
+        finally:
+            shutdown_pools()
+
+    def test_get_pool_replaces_closed_pool(self):
+        try:
+            a = get_pool(2, seed=0)
+            a.shutdown()
+            b = get_pool(2, seed=0)
+            assert b is not a
+            assert not b.closed
+        finally:
+            shutdown_pools()
+
+
+class TestRankSeeding:
+    """Satellite contract: per-rank streams are disjoint and identical
+    across fork and spawn (spawn-safe derivation from the run seed)."""
+
+    @pytest.fixture(scope="class")
+    def probes_by_method(self):
+        methods = [
+            m
+            for m in ("fork", "spawn")
+            if m in multiprocessing.get_all_start_methods()
+        ]
+        results = {}
+        for method in methods:
+            pool = WorkerPool(2, start_method=method, seed=11)
+            try:
+                results[method] = pool.broadcast(PROBE, [{"draws": 6}] * 2)
+            finally:
+                pool.shutdown()
+        return results
+
+    def test_default_start_method_is_available(self):
+        assert (
+            default_start_method() in multiprocessing.get_all_start_methods()
+        )
+
+    def test_ranks_identify_themselves(self, probes_by_method):
+        for probes in probes_by_method.values():
+            assert [p["rank"] for p in probes] == [0, 1]
+            assert all(p["count"] == 2 for p in probes)
+
+    def test_streams_disjoint_across_ranks(self, probes_by_method):
+        for probes in probes_by_method.values():
+            assert probes[0]["draws"] != probes[1]["draws"]
+
+    def test_streams_reproducible_across_start_methods(
+        self, probes_by_method
+    ):
+        draws = [
+            [p["draws"] for p in probes]
+            for probes in probes_by_method.values()
+        ]
+        assert all(d == draws[0] for d in draws)
+
+    def test_streams_reproducible_across_pools(self):
+        first = WorkerPool(2, seed=11)
+        try:
+            probes = first.broadcast(PROBE, [{"draws": 6}] * 2)
+        finally:
+            first.shutdown()
+        second = WorkerPool(2, seed=11)
+        try:
+            again = second.broadcast(PROBE, [{"draws": 6}] * 2)
+        finally:
+            second.shutdown()
+        assert [p["draws"] for p in probes] == [p["draws"] for p in again]
+
+    def test_seed_changes_streams(self):
+        pool = WorkerPool(1, seed=12)
+        try:
+            probes = pool.broadcast(PROBE, [{"draws": 6}])
+        finally:
+            pool.shutdown()
+        other = WorkerPool(1, seed=13)
+        try:
+            different = other.broadcast(PROBE, [{"draws": 6}])
+        finally:
+            other.shutdown()
+        assert probes[0]["draws"] != different[0]["draws"]

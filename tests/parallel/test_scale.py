@@ -1,0 +1,107 @@
+"""Tests for the scaling harness (grid logic, guards, trajectory)."""
+
+import json
+
+import pytest
+
+from repro.analysis.scale import (
+    MIN_PARALLEL_SPEEDUP,
+    ScaleCase,
+    check_scale_cases,
+    run_scale_suite,
+    time_scale_case,
+    write_scale_trajectory,
+)
+from repro.analysis.speed import fat_tree, prepare_uniform_hash
+from repro.errors import AnalysisError
+from repro.parallel.pool import shutdown_pools
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _shared_pools():
+    yield
+    shutdown_pools()
+
+
+def _case(workers, seconds, baseline, identical=True):
+    return ScaleCase(
+        name="shuffle",
+        topology="t",
+        num_compute_nodes=4,
+        num_elements=100,
+        num_workers=workers,
+        seconds=seconds,
+        baseline_seconds=baseline,
+        identical=identical,
+    )
+
+
+class TestCheckScaleCases:
+    def test_identity_failure_always_raises(self):
+        cases = [_case(1, 1.0, 1.0), _case(2, 0.4, 1.0, identical=False)]
+        with pytest.raises(AnalysisError, match="diverged"):
+            check_scale_cases(cases, available_cpus=1)
+
+    def test_speedup_not_required_beyond_core_count(self):
+        # 2-worker cell slower than baseline, but only 1 CPU: identity
+        # is still checked, the speedup contract is waived.
+        cases = [_case(1, 1.0, 1.0), _case(2, 2.0, 1.0)]
+        check_scale_cases(cases, available_cpus=1)
+
+    def test_speedup_required_within_core_count(self):
+        cases = [_case(1, 1.0, 1.0), _case(2, 0.99, 1.0)]
+        assert cases[1].speedup < MIN_PARALLEL_SPEEDUP
+        with pytest.raises(AnalysisError, match="budget"):
+            check_scale_cases(cases, available_cpus=8)
+
+    def test_monotonicity_enforced_within_core_count(self):
+        cases = [
+            _case(1, 1.0, 1.0),
+            _case(2, 0.5, 1.0),
+            _case(4, 0.7, 1.0),  # still >1.2x overall, but regressed vs 2
+        ]
+        with pytest.raises(AnalysisError, match="regressed"):
+            check_scale_cases(cases, available_cpus=8)
+
+    def test_good_scaling_passes(self):
+        cases = [_case(1, 1.0, 1.0), _case(2, 0.6, 1.0), _case(4, 0.35, 1.0)]
+        check_scale_cases(cases, available_cpus=8)
+
+    def test_require_speedup_overrides_core_guard(self):
+        cases = [_case(1, 1.0, 1.0), _case(2, 2.0, 1.0)]
+        with pytest.raises(AnalysisError, match="budget"):
+            check_scale_cases(cases, available_cpus=1, require_speedup=True)
+        check_scale_cases(cases, available_cpus=64, require_speedup=False)
+
+
+class TestHarness:
+    def test_single_cell_is_identical_to_oracle(self):
+        tree = fat_tree(2, rack_size=3)
+        prepared, label = prepare_uniform_hash(tree, 2_000, seed=3)
+        case = time_scale_case(label, tree, prepared, 2, seed=3, repeats=1)
+        assert case.identical
+        assert case.num_workers == 2
+        assert case.seconds > 0
+        assert case.cost_elements > 0
+
+    def test_small_suite_shape(self):
+        cases = run_scale_suite(
+            small=True, seed=3, repeats=1, workers_grid=(1, 2)
+        )
+        # 1 tree x 2 workloads x 2 worker counts
+        assert len(cases) == 4
+        assert all(case.identical for case in cases)
+        baselines = [c for c in cases if c.num_workers == 1]
+        assert all(c.speedup == 1.0 for c in baselines)
+        check_scale_cases(cases, available_cpus=1)  # identity always
+
+    def test_trajectory_appends_runs(self, tmp_path):
+        target = tmp_path / "BENCH_SCALE.json"
+        cases = [_case(1, 1.0, 1.0), _case(2, 0.5, 1.0)]
+        write_scale_trajectory(cases, grid="small", path=target)
+        write_scale_trajectory(cases, grid="small", path=target)
+        payload = json.loads(target.read_text())
+        assert payload["benchmark"] == "bench_scale"
+        assert len(payload["runs"]) == 2
+        assert payload["runs"][0]["cpu_count"] is not None
+        assert payload["runs"][0]["cases"][1]["workers"] == 2

@@ -1,0 +1,77 @@
+"""Unit tests for the shared-memory array pool (master side)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.parallel.shmem import (
+    ArraySpec,
+    SharedArrayPool,
+    _round_up_pow2,
+    attach_array,
+)
+
+
+@pytest.fixture
+def pool():
+    pool = SharedArrayPool()
+    yield pool
+    pool.destroy()
+
+
+class TestSizeClasses:
+    def test_minimum_is_one_page(self):
+        assert _round_up_pow2(1) == 4096
+        assert _round_up_pow2(4096) == 4096
+
+    def test_rounds_up_to_power_of_two(self):
+        assert _round_up_pow2(4097) == 8192
+        assert _round_up_pow2(100_000) == 131072
+
+
+class TestLeaseRelease:
+    def test_lease_returns_writable_view(self, pool):
+        segment, view = pool.lease_array(np.int64, 1000)
+        view[:] = np.arange(1000)
+        assert segment.ndarray(np.int64, 1000)[999] == 999
+
+    def test_release_recycles_same_size_class(self, pool):
+        segment, _ = pool.lease_array(np.int64, 1000)
+        pool.release(segment)
+        again, _ = pool.lease_array(np.int64, 900)  # same power-of-two class
+        assert again.name == segment.name
+        assert pool.num_segments == 1
+
+    def test_distinct_leases_get_distinct_segments(self, pool):
+        a, _ = pool.lease_array(np.int64, 10)
+        b, _ = pool.lease_array(np.int64, 10)
+        assert a.name != b.name
+
+    def test_lease_after_destroy_rejected(self, pool):
+        pool.destroy()
+        with pytest.raises(AnalysisError):
+            pool.lease_array(np.int64, 10)
+
+    def test_destroy_is_idempotent(self, pool):
+        pool.lease_array(np.int64, 10)
+        pool.destroy()
+        pool.destroy()
+        assert pool.num_segments == 0
+
+
+class TestArraySpec:
+    def test_spec_roundtrips_in_process(self, pool):
+        segment, view = pool.lease_array(np.int32, 64)
+        view[:] = np.arange(64, dtype=np.int32)
+        spec = segment.spec(np.int32, 64)
+        assert isinstance(spec, ArraySpec)
+        reopened = attach_array(spec)
+        assert reopened.dtype == np.int32
+        assert np.array_equal(reopened, np.arange(64, dtype=np.int32))
+
+    def test_spec_is_picklable(self, pool):
+        import pickle
+
+        segment, _ = pool.lease_array(np.int64, 8)
+        spec = segment.spec(np.int64, 8)
+        assert pickle.loads(pickle.dumps(spec)) == spec
