@@ -127,6 +127,13 @@ from repro.graphs import (
     run_neighborhood_aggregate,
     run_triangles,
 )
+from repro.obs import (
+    chrome_trace,
+    get_tracer,
+    metrics,
+    tracing,
+    write_chrome_trace,
+)
 from repro.report import GraphRunReport, PlanReport
 from repro.analysis import (
     RunReport,
@@ -237,6 +244,12 @@ __all__ = [
     "powerlaw_graph",
     "planted_components_graph",
     "random_graph_distribution",
+    # observability (repro.obs has the full subsystem API)
+    "tracing",
+    "get_tracer",
+    "chrome_trace",
+    "metrics",
+    "write_chrome_trace",
     # analysis
     "RunReport",
     "run_intersection",

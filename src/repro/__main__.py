@@ -17,6 +17,11 @@ Each command prints the same plain-text tables the benchmark harness
 records, so the headline claims can be checked without pytest;
 ``protocols``, ``compare`` and ``graphs`` take ``--json`` for
 machine-consumable output.
+
+Tracing: ``python -m repro trace cc --backend process`` runs one task
+under the :mod:`repro.obs` tracer and writes a Chrome-trace JSON
+(load it at ``chrome://tracing`` or https://ui.perfetto.dev), and every
+other command accepts ``--trace FILE`` to record whatever it runs.
 """
 
 from __future__ import annotations
@@ -366,6 +371,102 @@ def _cmd_bench_scale(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Run one task under the tracer; write a Chrome-trace JSON."""
+    from repro.analysis.speed import fat_tree
+    from repro.data.generators import (
+        random_graph_distribution,
+        random_tuple_distribution,
+    )
+    from repro.obs import metrics, tracing, write_chrome_trace
+    from repro.registry import get_task
+
+    task_spec = get_task(args.subcommand or "connected-components")
+    tree = fat_tree(args.racks)
+    if task_spec.name in ("connected-components", "triangle-count"):
+        dist = random_graph_distribution(
+            tree,
+            num_edges=args.edges,
+            policy=args.placement,
+            seed=args.seed,
+        )
+    elif task_spec.name in ("equijoin", "groupby-aggregate"):
+        dist = random_tuple_distribution(
+            tree,
+            r_size=args.r_size,
+            s_size=args.s_size,
+            policy=args.placement,
+            seed=args.seed,
+        )
+    else:
+        dist = random_distribution(
+            tree,
+            r_size=args.r_size,
+            s_size=args.s_size,
+            policy=args.placement,
+            seed=args.seed,
+        )
+    backend_opts = (
+        {"backend": args.backend, "num_workers": args.num_workers}
+        if args.backend != "sim"
+        else {}
+    )
+    with tracing() as tracer:
+        report = run(
+            task_spec.name,
+            tree,
+            dist,
+            protocol=args.protocol,
+            seed=args.seed,
+            placement=args.placement,
+            **backend_opts,
+        )
+    output = args.output or f"{task_spec.name}.trace.json"
+    try:
+        payload = write_chrome_trace(output, tracer, metrics=metrics(tracer))
+    except OSError as error:
+        print(f"error: cannot write trace file: {error}", file=sys.stderr)
+        return 2
+    rounds = [
+        event
+        for event in tracer.events
+        if event.attrs.get("category") == "round"
+    ]
+    print(
+        render_table(
+            [
+                "task",
+                "protocol",
+                "backend",
+                "cost",
+                "rounds",
+                "wall s",
+                "spans",
+            ],
+            [
+                [
+                    report.task,
+                    report.protocol,
+                    args.backend,
+                    f"{report.cost:.1f}",
+                    report.rounds,
+                    (
+                        "n/a"
+                        if report.wall_time_s is None
+                        else f"{report.wall_time_s:.4f}"
+                    ),
+                    len(payload["traceEvents"]),
+                ]
+            ],
+            title=(
+                f"Trace of {task_spec.name} on {tree.name} "
+                f"({len(rounds)} round spans) -> {output}"
+            ),
+        )
+    )
+    return 0
+
+
 def _cmd_protocols(args: argparse.Namespace) -> int:
     if args.json:
         payload = [
@@ -481,6 +582,32 @@ def main(argv: list[str] | None = None) -> int:
         help="worker ranks for --backend process (default 2)",
     )
     parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help=(
+            "record the command under the repro.obs tracer and write a "
+            "Chrome-trace JSON to FILE"
+        ),
+    )
+    parser.add_argument(
+        "--racks",
+        type=int,
+        default=8,
+        help="trace: fat-tree rack count (topology fat-tree(NxN))",
+    )
+    parser.add_argument(
+        "--protocol",
+        default=None,
+        help="trace: protocol name (default: the task's registered default)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="trace: trace file path (default <task>.trace.json)",
+    )
+    parser.add_argument(
         "command",
         choices=[
             "table1",
@@ -490,6 +617,7 @@ def main(argv: list[str] | None = None) -> int:
             "plan",
             "graphs",
             "bench",
+            "trace",
         ],
         help="which reproduction to run",
     )
@@ -497,10 +625,13 @@ def main(argv: list[str] | None = None) -> int:
         "subcommand",
         nargs="?",
         default=None,
-        help="bench: which benchmark to run ('speed' or 'scale')",
+        help=(
+            "bench: which benchmark to run ('speed' or 'scale'); "
+            "trace: which task to trace (default connected-components)"
+        ),
     )
     args = parser.parse_args(argv)
-    if args.command != "bench" and args.subcommand is not None:
+    if args.command not in ("bench", "trace") and args.subcommand is not None:
         parser.error(f"unrecognized arguments: {args.subcommand}")
     if args.command == "bench" and args.subcommand is None:
         args.subcommand = "speed"
@@ -517,8 +648,31 @@ def main(argv: list[str] | None = None) -> int:
         "plan": _cmd_plan,
         "graphs": _cmd_graphs,
         "bench": _cmd_bench,
+        "trace": _cmd_trace,
     }
     try:
+        if args.trace is not None and args.command != "trace":
+            # --trace FILE: record whatever the command runs and write
+            # the Chrome-trace JSON (metrics summary embedded) on exit.
+            from repro.obs import metrics, tracing, write_chrome_trace
+
+            with tracing() as tracer:
+                status = handlers[args.command](args)
+            try:
+                write_chrome_trace(
+                    args.trace, tracer, metrics=metrics(tracer)
+                )
+            except OSError as error:
+                print(
+                    f"error: cannot write trace file: {error}",
+                    file=sys.stderr,
+                )
+                return 2
+            print(
+                f"trace: {len(tracer.events)} spans -> {args.trace}",
+                file=sys.stderr,
+            )
+            return status
         return handlers[args.command](args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -30,16 +30,18 @@ from __future__ import annotations
 
 import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.analysis.speed import (
     fat_tree,
     prepare_components,
     prepare_uniform_hash,
+    round_phases,
     write_trajectory,
 )
 from repro.errors import AnalysisError
+from repro.obs.tracer import tracing
 from repro.parallel.backend import ParallelCluster
 from repro.parallel.oracle import OracleMismatch
 from repro.parallel.pool import get_pool
@@ -74,6 +76,9 @@ class ScaleCase:
     identical: bool = False
     mismatch: str = ""
     cost_elements: float = 0.0
+    #: Tracer-derived group/deliver/charge split of one traced round at
+    #: this worker count (master-side attribution; see bench speed).
+    phases: dict = field(default_factory=dict)
 
     @property
     def speedup(self) -> float:
@@ -94,6 +99,7 @@ class ScaleCase:
             "speedup": round(self.speedup, 2),
             "cost_elements": self.cost_elements,
             "identical": self.identical,
+            "phases": dict(self.phases),
         }
 
 
@@ -141,6 +147,12 @@ def time_scale_case(
         best = min(best, elapsed)
         cluster.close()
     case.seconds = best
+    # Attribute one traced round (oracle off — the shadow replay would
+    # distort the phase timings) before the byte-identity run.
+    with tracing() as tracer:
+        _, cluster = _run_parallel_round(tree, prepared, pool, oracle=False)
+        cluster.close()
+    case.phases = round_phases(tracer)
     try:
         _, cluster = _run_parallel_round(tree, prepared, pool, oracle=True)
         cluster.verify_oracle()

@@ -37,6 +37,7 @@ import numpy as np
 from repro.data.generators import random_distribution, random_graph_distribution
 from repro.errors import AnalysisError
 from repro.graphs.model import VERTEX_BITS, decode_edges
+from repro.obs.tracer import tracing
 from repro.queries.tuples import encode_tuples
 from repro.sim.cluster import Cluster
 from repro.topology.builders import two_level
@@ -73,6 +74,10 @@ class SpeedCase:
     #: Per-case speedup budget; filled in by :func:`run_speed_suite`
     #: (grid-dependent), fallback for hand-built cases.
     min_speedup: float = SMALL_MIN_SPEEDUP
+    #: Tracer-derived attribution of one bulk round: where the time
+    #: went (``t_group_s`` / ``t_deliver_s`` / ``t_charge_s``), measured
+    #: on a separate traced run so the timed repeats stay untouched.
+    phases: dict = field(default_factory=dict)
 
     @property
     def speedup(self) -> float:
@@ -92,6 +97,7 @@ class SpeedCase:
             "min_speedup": self.min_speedup,
             "cost_elements": self.cost_elements,
             "ledger_identical": self.ledger_identical,
+            "phases": dict(self.phases),
         }
 
 
@@ -232,6 +238,24 @@ def _run_round(
     return time.perf_counter() - start, cluster
 
 
+def round_phases(tracer) -> dict:
+    """Extract the group/deliver/charge split from a traced round.
+
+    Finds the first round span whose attrs carry the phase timings (the
+    cluster only records them while a recording tracer is installed)
+    and returns them rounded to microseconds; empty when no such span
+    was captured.  Shared with :mod:`repro.analysis.scale`.
+    """
+    for event in tracer.events:
+        attrs = event.attrs
+        if attrs.get("category") == "round" and "t_group_s" in attrs:
+            return {
+                key: round(attrs[key], 6)
+                for key in ("t_group_s", "t_deliver_s", "t_charge_s")
+            }
+    return {}
+
+
 def _equivalent(a: Cluster, b: Cluster, tag: str = "recv") -> bool:
     if a.ledger.round_loads(0) != b.ledger.round_loads(0):
         return False
@@ -270,6 +294,12 @@ def time_case(
     case.per_send_seconds = per_send_best
     case.ledger_identical = _equivalent(bulk_cluster, per_send_cluster)
     case.cost_elements = bulk_cluster.ledger.total_cost()
+    # One extra *traced* bulk round attributes the time to the round's
+    # group/deliver/charge phases; kept out of the timed repeats so the
+    # reported seconds stay tracing-free.
+    with tracing() as tracer:
+        _run_round(tree, prepared, "bulk")
+    case.phases = round_phases(tracer)
     return case
 
 

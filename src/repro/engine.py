@@ -24,10 +24,12 @@ from __future__ import annotations
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import nullcontext
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.obs.tracer import get_tracer, use_tracer
 from repro.report import RunReport
 from repro.core.cartesian.lower_bounds import cartesian_lower_bound
 from repro.core.intersection.lower_bound import intersection_lower_bound
@@ -289,18 +291,38 @@ def run_with_result(
         raise AnalysisError("num_workers requires an explicit backend")
     else:
         substrate = nullcontext()
-    with substrate:
-        result = spec.call(tree, distribution, seed=seed, **opts)
-    if verify and task_spec.verifier is not None:
-        task_spec.verifier(tree, distribution, result)
-    bound = None
-    if task_spec.lower_bound is not None:
-        bound_opts = {
-            name: opts[name]
-            for name in task_spec.lower_bound_opts
-            if name in opts
-        }
-        bound = task_spec.lower_bound(tree, distribution, **bound_opts)
+    tracer = get_tracer()
+    # The root span of a task execution: everything below — supersteps,
+    # plan stages, rounds, worker barriers — nests under it, and pool
+    # failures report their position relative to it.
+    with tracer.span(
+        f"engine.run {task_spec.name}",
+        category="engine",
+        task=task_spec.name,
+        protocol=spec.name,
+        topology=tree.name,
+        backend=resolved_backend,
+        placement=placement,
+    ) as root:
+        started = perf_counter()
+        with substrate:
+            result = spec.call(tree, distribution, seed=seed, **opts)
+        wall_time_s = perf_counter() - started
+        if verify and task_spec.verifier is not None:
+            with tracer.span("engine.verify", category="verify"):
+                task_spec.verifier(tree, distribution, result)
+        bound = None
+        if task_spec.lower_bound is not None:
+            bound_opts = {
+                name: opts[name]
+                for name in task_spec.lower_bound_opts
+                if name in opts
+            }
+            with tracer.span("engine.bound", category="bound"):
+                bound = task_spec.lower_bound(
+                    tree, distribution, **bound_opts
+                )
+        root.set(cost=result.cost, rounds=result.rounds)
     report = RunReport(
         task=task_spec.name,
         protocol=result.protocol,
@@ -314,6 +336,7 @@ def run_with_result(
             "result": result.meta,
             "bound": bound.description if bound is not None else "",
         },
+        wall_time_s=wall_time_s,
     )
     return report, result
 
@@ -412,12 +435,26 @@ def run_many(
             _execute_annotated(indexed) for indexed in enumerate(normalized)
         ]
     if executor == "process":
+        # Plans execute in worker processes: their spans stay worker-side
+        # (only master-side work lands in the caller's trace).
         from repro.parallel.pool import get_pool
 
         pool = get_pool(workers if workers is not None else 2)
         return pool.scatter(PLAN_JOB, list(enumerate(normalized)))
+    tracer = get_tracer()
+    if tracer.enabled:
+        # Carry the caller's recording tracer onto the executor threads
+        # (its event buffer is shared and locked; span stacks are
+        # per-thread).  The no-op tracer is *not* shared — its path
+        # stack is single-threaded state.
+        def _mapper(indexed: tuple[int, RunPlan]) -> RunReport:
+            with use_tracer(tracer):
+                return _execute_annotated(indexed)
+
+    else:
+        _mapper = _execute_annotated
     with ThreadPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(_execute_annotated, enumerate(normalized)))
+        return list(pool.map(_mapper, enumerate(normalized)))
 
 
 def run_plan(

@@ -589,4 +589,5 @@ def run_components(
         lower_bound=report.lower_bound,
         converged=bool(meta.get("converged", False)),
         meta=meta,
+        wall_time_s=report.wall_time_s,
     )

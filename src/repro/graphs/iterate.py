@@ -24,8 +24,10 @@ and :meth:`SuperstepDriver.report` packages the rows into a
 from __future__ import annotations
 
 from contextlib import contextmanager
+from time import perf_counter
 from typing import Iterator
 
+from repro.obs.tracer import get_tracer
 from repro.report import GraphRunReport, RunReport
 from repro.sim.cluster import Cluster, RoundContext, make_cluster
 from repro.sim.ledger import CostLedger
@@ -95,17 +97,20 @@ class SuperstepDriver:
         # which build on this driver.
         from repro.engine import run_with_result
 
-        report, result = run_with_result(
-            task,
-            self._tree,
-            distribution,
-            protocol=protocol,
-            seed=seed,
-            placement=label,
-            verify=verify,
-            **opts,
-        )
-        self._absorb(result.ledger)
+        with get_tracer().span(
+            label, category="superstep", task=task, step="protocol"
+        ):
+            report, result = run_with_result(
+                task,
+                self._tree,
+                distribution,
+                protocol=protocol,
+                seed=seed,
+                placement=label,
+                verify=verify,
+                **opts,
+            )
+            self._absorb(result.ledger)
         self._steps.append(report)
         return result
 
@@ -124,8 +129,12 @@ class SuperstepDriver:
         charged by the shared cluster; on exit the round becomes one
         zero-bound :class:`RunReport` row labelled ``label``.
         """
-        with self._cluster.round() as ctx:
-            yield ctx
+        started = perf_counter()
+        with get_tracer().span(
+            label, category="superstep", task=task, step="cluster-round"
+        ):
+            with self._cluster.round() as ctx:
+                yield ctx
         index = self.ledger.num_rounds - 1
         self._steps.append(
             RunReport(
@@ -138,6 +147,7 @@ class SuperstepDriver:
                 cost=self.ledger.round_cost(index),
                 lower_bound=0.0,
                 meta={"driver_round": index},
+                wall_time_s=perf_counter() - started,
             )
         )
 
@@ -181,8 +191,19 @@ class SuperstepDriver:
         lower_bound: float = 0.0,
         converged: bool = True,
         meta: dict | None = None,
+        wall_time_s: float | None = None,
     ) -> GraphRunReport:
-        """Package the accumulated step rows as a :class:`GraphRunReport`."""
+        """Package the accumulated step rows as a :class:`GraphRunReport`.
+
+        ``wall_time_s`` defaults to the sum of the step rows' measured
+        times (when every step carries one); pass an explicit
+        end-to-end measurement to include driver-side compute between
+        steps.
+        """
+        if wall_time_s is None and self._steps:
+            step_times = [step.wall_time_s for step in self._steps]
+            if all(t is not None for t in step_times):
+                wall_time_s = sum(step_times)
         return GraphRunReport(
             task=task,
             protocol=protocol,
@@ -194,4 +215,5 @@ class SuperstepDriver:
             lower_bound=lower_bound,
             converged=converged,
             meta=meta or {},
+            wall_time_s=wall_time_s,
         )

@@ -436,4 +436,5 @@ def run_triangles(
         lower_bound=report.lower_bound,
         converged=True,
         meta=meta,
+        wall_time_s=report.wall_time_s,
     )

@@ -1,0 +1,51 @@
+"""repro.obs — structured tracing and metrics for the whole stack.
+
+The cost model says what a protocol *should* cost per round; this
+package records where wall-clock time and bytes *actually* go as a run
+flows engine → plan stages → supersteps → round finalization → worker
+ranks.  Zero dependencies, zero configuration: a no-op tracer is
+installed per thread by default, so instrumented code pays one
+attribute lookup when tracing is off, and :func:`tracing` swaps in a
+recording :class:`Tracer` for a ``with`` block.
+
+Usage::
+
+    from repro.obs import tracing, write_chrome_trace
+
+    with tracing() as tracer:
+        repro.run("connected-components", tree, dist)
+    write_chrome_trace("cc.trace.json", tracer)   # chrome://tracing
+
+See DESIGN.md ("Observability") for the span taxonomy and attribute
+conventions.
+"""
+
+from repro.obs.tracer import (
+    NullTracer,
+    Span,
+    SpanEvent,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    tracing,
+    use_tracer,
+)
+from repro.obs.export import (
+    chrome_trace,
+    metrics,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "NullTracer",
+    "Span",
+    "SpanEvent",
+    "Tracer",
+    "chrome_trace",
+    "get_tracer",
+    "metrics",
+    "set_tracer",
+    "tracing",
+    "use_tracer",
+    "write_chrome_trace",
+]

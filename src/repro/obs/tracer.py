@@ -1,0 +1,317 @@
+"""Thread-local span tracing with a bounded in-memory event buffer.
+
+Two tracer implementations share one surface:
+
+* :class:`Tracer` — the recording tracer :func:`tracing` installs.
+  ``span(name, **attrs)`` opens a nested span (monotonic
+  ``perf_counter`` timing), ``annotate(**attrs)`` adds attributes to
+  the innermost open span (how round finalizers attach ledger-derived
+  facts without threading span objects through call stacks), and
+  finished spans land in a bounded event buffer (overflow increments
+  ``dropped`` instead of growing without limit).  One tracer may be
+  shared by several threads — ``run_many``'s thread executor installs
+  the caller's tracer in every worker thread — so the *open-span
+  stack* is kept per thread while the event buffer is shared under a
+  lock.
+* :class:`NullTracer` — the per-thread default.  It records nothing
+  and times nothing; the only state it keeps is the stack of open span
+  *names*, so failure paths (worker crash, round timeout) can always
+  report *where* in the run they happened via :meth:`current_path`,
+  tracing on or off.  Span entry is one list append, exit one pop.
+
+Instrumented code never imports a concrete tracer; it asks
+:func:`get_tracer` (one thread-local attribute lookup) and calls the
+surface.  ``tracer.enabled`` gates any extra work — phase timers,
+ledger queries — that only matters when events are recorded.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+#: Default event-buffer bound; ~100 bytes/event keeps worst case ~10 MB.
+DEFAULT_MAX_EVENTS = 100_000
+
+#: Track label for events recorded on the installing (master) thread.
+MAIN_TRACK = "main"
+
+
+@dataclass
+class SpanEvent:
+    """One finished span: name, monotonic interval, attributes.
+
+    ``track`` groups events into timeline rows (the master thread,
+    worker ranks, run_many threads); ``depth`` is the nesting depth at
+    open time and ``index`` a per-tracer sequence number, so exports
+    can reconstruct ordering without trusting float ties.
+    """
+
+    name: str
+    start: float
+    end: float
+    attrs: dict = field(default_factory=dict)
+    track: str = MAIN_TRACK
+    depth: int = 0
+    index: int = 0
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Span:
+    """An open span; use as a context manager (returned by ``span()``)."""
+
+    __slots__ = ("_tracer", "name", "attrs", "category", "_start", "_depth")
+
+    def __init__(
+        self, tracer: "Tracer", name: str, category: str | None, attrs: dict
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.category = category
+        self.attrs = attrs
+        self._start = 0.0
+        self._depth = 0
+
+    def set(self, **attrs) -> None:
+        """Attach attributes after the span opened (e.g. actual cost)."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        stack = self._tracer._stack()
+        self._depth = len(stack)
+        stack.append(self)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end = time.perf_counter()
+        stack = self._tracer._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        elif self in stack:  # pragma: no cover - unbalanced exit
+            stack.remove(self)
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        attrs = self.attrs
+        if self.category is not None:
+            attrs = dict(attrs, category=self.category)
+        self._tracer._record(
+            SpanEvent(
+                name=self.name,
+                start=self._start,
+                end=end,
+                attrs=attrs,
+                track=self._tracer._track(),
+                depth=self._depth,
+            )
+        )
+        return False
+
+
+class Tracer:
+    """The recording tracer: nested spans into a bounded event buffer."""
+
+    enabled = True
+
+    def __init__(self, *, max_events: int = DEFAULT_MAX_EVENTS) -> None:
+        if max_events < 1:
+            raise ValueError(f"max_events must be >= 1, got {max_events}")
+        self.max_events = max_events
+        self.events: list[SpanEvent] = []
+        self.dropped = 0
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._counter = itertools.count()
+
+    # ------------------------------------------------------------------ #
+    # per-thread state
+    # ------------------------------------------------------------------ #
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _track(self) -> str:
+        thread = threading.current_thread()
+        if thread is threading.main_thread():
+            return MAIN_TRACK
+        return thread.name
+
+    # ------------------------------------------------------------------ #
+    # the tracing surface
+    # ------------------------------------------------------------------ #
+
+    def span(self, name: str, *, category: str | None = None, **attrs) -> Span:
+        """Open a nested span; use as ``with tracer.span(...) as sp:``.
+
+        ``category`` is the low-cardinality aggregation key for
+        :func:`repro.obs.export.metrics` (span *names* carry instance
+        labels like ``"round 7"``; categories group them as
+        ``"round"``).
+        """
+        return Span(self, name, category, attrs)
+
+    def annotate(self, **attrs) -> None:
+        """Add attributes to this thread's innermost open span (if any)."""
+        stack = self._stack()
+        if stack:
+            stack[-1].attrs.update(attrs)
+
+    def current_path(self) -> tuple:
+        """Names of this thread's open spans, outermost first."""
+        return tuple(span.name for span in self._stack())
+
+    def add_event(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        *,
+        attrs: dict | None = None,
+        track: str | None = None,
+        category: str | None = None,
+    ) -> None:
+        """Inject an externally timed span (e.g. one shipped back by a
+        worker rank over the round barrier) into the buffer.
+
+        ``start``/``end`` must be ``time.perf_counter()`` readings; on
+        the platforms the process backend supports they share the
+        master's clock domain (CLOCK_MONOTONIC is machine-wide), so
+        merged worker spans land at their true position on the
+        timeline.
+        """
+        merged = dict(attrs) if attrs else {}
+        if category is not None:
+            merged["category"] = category
+        depth = len(self._stack())
+        self._record(
+            SpanEvent(
+                name=name,
+                start=start,
+                end=end,
+                attrs=merged,
+                track=track if track is not None else self._track(),
+                depth=depth,
+            )
+        )
+
+    def _record(self, event: SpanEvent) -> None:
+        with self._lock:
+            if len(self.events) >= self.max_events:
+                self.dropped += 1
+                return
+            event.index = next(self._counter)
+            self.events.append(event)
+
+
+class _NullSpan:
+    """A span that keeps only its name on the tracer's path stack."""
+
+    __slots__ = ("_stack", "_name")
+
+    def __init__(self, stack: list, name: str) -> None:
+        self._stack = stack
+        self._name = name
+
+    def set(self, **attrs) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        self._stack.append(self._name)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._stack:
+            self._stack.pop()
+        return False
+
+
+class NullTracer:
+    """The default tracer: no events, no timing, just the name path.
+
+    Keeping the open-span *names* costs one append/pop per span — spans
+    open at round granularity, never per element — and is what lets
+    :class:`~repro.parallel.pool.WorkerPool` failures name the
+    enclosing superstep/stage even when nobody asked for a trace.
+    """
+
+    enabled = False
+    events: tuple = ()
+    dropped = 0
+
+    def __init__(self) -> None:
+        self._path: list[str] = []
+
+    def span(self, name: str, *, category: str | None = None, **attrs):
+        return _NullSpan(self._path, name)
+
+    def annotate(self, **attrs) -> None:
+        pass
+
+    def current_path(self) -> tuple:
+        return tuple(self._path)
+
+    def add_event(self, *args, **kwargs) -> None:
+        pass
+
+
+# ---------------------------------------------------------------------- #
+# installation
+# ---------------------------------------------------------------------- #
+
+
+class _ObsState(threading.local):
+    def __init__(self) -> None:
+        self.tracer = NullTracer()
+
+
+_STATE = _ObsState()
+
+
+def get_tracer():
+    """The tracer installed in this thread (a :class:`NullTracer` by
+    default)."""
+    return _STATE.tracer
+
+
+def set_tracer(tracer):
+    """Install ``tracer`` in this thread; returns the previous one."""
+    previous = _STATE.tracer
+    _STATE.tracer = tracer
+    return previous
+
+
+@contextmanager
+def use_tracer(tracer) -> Iterator:
+    """Install ``tracer`` in this thread for the duration of the block.
+
+    This is how a shared :class:`Tracer` follows work onto other
+    threads: ``run_many`` captures the caller's tracer and wraps each
+    plan execution in ``use_tracer`` on the executor thread.
+    """
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        _STATE.tracer = previous
+
+
+@contextmanager
+def tracing(*, max_events: int = DEFAULT_MAX_EVENTS) -> Iterator[Tracer]:
+    """Record spans within the block; yields the :class:`Tracer`.
+
+    The previous tracer (normally the no-op default) is restored on
+    exit, so nesting and exceptions are safe.
+    """
+    tracer = Tracer(max_events=max_events)
+    with use_tracer(tracer):
+        yield tracer

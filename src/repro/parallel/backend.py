@@ -53,11 +53,13 @@ and the round index, and the pool tears down its shared segments — no
 from __future__ import annotations
 
 import weakref
+from time import perf_counter
 
 import numpy as np
 
 from repro.data.distribution import Distribution
 from repro.errors import ProtocolError
+from repro.obs.tracer import get_tracer
 from repro.parallel import pool as pool_module
 from repro.parallel.pool import WorkerPool, annotate_error, get_pool
 from repro.parallel.shmem import SharedArrayPool, attach_array
@@ -77,7 +79,15 @@ def _round_kernel(payload: dict) -> dict:
     ``flatnonzero`` keeps registration order; ``group_slices`` is the
     same stable grouping primitive the simulator uses, so each
     ``(dst, tag)`` chunk is byte-identical to the simulator's.
+
+    When the master traces the run (``payload["trace"]``), the kernel
+    times its own work with ``perf_counter`` — CLOCK_MONOTONIC, shared
+    machine-wide with the master on the platforms the pool supports —
+    and ships the interval back in the reply so the master can merge a
+    rank-qualified span at its true timeline position.
     """
+    trace = payload.get("trace", False)
+    t_start = perf_counter() if trace else 0.0
     rank = pool_module.WORKER_RANK
     rank_of = payload["rank_of"]
     out = attach_array(payload["out"])
@@ -99,7 +109,10 @@ def _round_kernel(payload: dict) -> dict:
                 )
             cursor += int(mine.size)
         slices.append(tag_slices)
-    return {"slices": slices, "elements": cursor}
+    result = {"slices": slices, "elements": cursor}
+    if trace:
+        result["span"] = (t_start, perf_counter())
+    return result
 
 
 def _release_segments(shm: SharedArrayPool, segments: list) -> None:
@@ -113,16 +126,21 @@ class ParallelRoundContext(RoundContext):
 
     def _finalize_bulk(self) -> None:
         cluster: ParallelCluster = self._cluster  # type: ignore[assignment]
-        storage = cluster._storage
+        tracer = get_tracer()
+        phases = (
+            {"group": 0.0, "deliver": 0.0, "charge": 0.0}
+            if tracer.enabled
+            else None
+        )
         cluster.ledger.open_round()
         round_index = cluster.ledger.num_rounds - 1
         loads: dict = {}
         try:
             if self._unicast_stream:
-                loads = self._deliver_unicasts_parallel(round_index)
+                loads = self._deliver_unicasts_parallel(round_index, phases)
             if self._multicasts:
                 # Master-side Steiner replication (see module docstring).
-                self._deliver_multicasts(loads)
+                self._deliver_multicasts(loads, phases)
         except ProtocolError as error:
             annotate_error(
                 error,
@@ -131,27 +149,38 @@ class ParallelRoundContext(RoundContext):
             )
             raise
         if loads:
+            t0 = perf_counter() if phases is not None else 0.0
             cluster.ledger.add_loads(loads.keys(), loads.values())
+            if phases is not None:
+                phases["charge"] += perf_counter() - t0
         cluster.ledger.close_round()
+        if phases is not None:
+            self._annotate_round(tracer, phases)
         if cluster._oracle is not None:
             cluster._oracle.replay_round(
                 cluster, self._unicast_stream, self._multicasts
             )
 
-    def _deliver_unicasts_parallel(self, round_index: int) -> dict:
+    def _deliver_unicasts_parallel(
+        self, round_index: int, phases: dict | None = None
+    ) -> dict:
         """Ship the round's columns to the ranks; map replies to storage."""
         cluster: ParallelCluster = self._cluster  # type: ignore[assignment]
         # The pool lock spans the lease + broadcast + install sequence:
         # clusters on other threads sharing this pool must not interleave
         # their rounds with ours (reentrant, so broadcast re-acquires).
         with cluster.pool.lock:
-            return self._deliver_unicasts_locked(round_index)
+            return self._deliver_unicasts_locked(round_index, phases)
 
-    def _deliver_unicasts_locked(self, round_index: int) -> dict:
+    def _deliver_unicasts_locked(
+        self, round_index: int, phases: dict | None = None
+    ) -> dict:
         cluster: ParallelCluster = self._cluster  # type: ignore[assignment]
         storage = cluster._storage
         shm = cluster.pool.shm
         num_workers = cluster.num_workers
+        tracer = get_tracer()
+        t0 = perf_counter() if phases is not None else 0.0
         routing, by_tag, pair_matrix = self._collect_unicasts()
         node_names = routing.nodes
         rank_of = cluster._rank_lookup(routing)
@@ -191,8 +220,12 @@ class ParallelRoundContext(RoundContext):
                     "rank_of": rank_of,
                     "tags": tag_entries,
                     "out": segment.spec(np.int64, int(per_rank[rank])),
+                    "trace": phases is not None,
                 }
             )
+        if phases is not None:
+            t1 = perf_counter()
+            phases["group"] += t1 - t0
         results = cluster.pool.broadcast(
             ROUND_KERNEL,
             payloads,
@@ -202,6 +235,22 @@ class ParallelRoundContext(RoundContext):
         for rank, result in enumerate(results):
             segment, view = out_blocks[rank]
             cluster._retained_segments.append(segment)
+            if phases is not None and "span" in result:
+                # merge the rank's kernel interval into the master trace
+                # under a rank-qualified name on its own track
+                start, end = result["span"]
+                tracer.add_event(
+                    f"rank{rank}/round {round_index}",
+                    start,
+                    end,
+                    track=f"rank {rank}",
+                    category="worker-round",
+                    attrs={
+                        "rank": rank,
+                        "round": round_index,
+                        "elements": result["elements"],
+                    },
+                )
             for entry, tag_slices in zip(tag_entries, result["slices"]):
                 tag = entry["tag"]
                 for dst_id, start, end in tag_slices:
@@ -210,7 +259,13 @@ class ParallelRoundContext(RoundContext):
                     ).append(view[start:end])
         for segment in round_segments:
             shm.release(segment)
-        return self._apply_pair_loads(routing, pair_matrix)
+        if phases is not None:
+            t2 = perf_counter()
+            phases["deliver"] += t2 - t1
+        loads = self._apply_pair_loads(routing, pair_matrix)
+        if phases is not None:
+            phases["charge"] += perf_counter() - t2
+        return loads
 
 
 class ParallelCluster(Cluster):

@@ -30,6 +30,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ProtocolError
+from repro.obs.tracer import NullTracer, use_tracer
 from repro.sim.cluster import Cluster
 from repro.topology.tree import TreeTopology, node_sort_key
 
@@ -58,9 +59,13 @@ class LedgerOracle:
         :class:`RoundContext` runs the simulator's bulk finalizer on
         byte-for-byte the same inputs the workers got.
         """
-        with self.shadow.round() as context:
-            context._unicast_stream.extend(unicast_stream)
-            context._multicasts.extend(multicasts)
+        # The shadow is a verification artifact, not part of the run:
+        # replay under a no-op tracer so a traced process-backend round
+        # doesn't also emit a duplicate simulator round span.
+        with use_tracer(NullTracer()):
+            with self.shadow.round() as context:
+                context._unicast_stream.extend(unicast_stream)
+                context._multicasts.extend(multicasts)
         index = self.shadow.ledger.num_rounds - 1
         expected = self.shadow.ledger.round_loads(index)
         actual = cluster.ledger.round_loads(index)

@@ -43,6 +43,7 @@ from typing import Callable, Sequence
 import multiprocessing
 
 from repro.errors import ProtocolError
+from repro.obs.tracer import get_tracer
 from repro.parallel.shmem import SharedArrayPool, detach_all
 
 #: Globals a job function can read inside a worker process.  ``None`` on
@@ -292,7 +293,13 @@ class WorkerPool:
         jobs = []
         for rank, payload in enumerate(payloads):
             jobs.append((rank, target, payload))
-        outcomes = self._run(jobs, timeout=timeout, label=label)
+        with get_tracer().span(
+            "pool.barrier",
+            category="barrier",
+            label=label,
+            workers=self.num_workers,
+        ):
+            outcomes = self._run(jobs, timeout=timeout, label=label)
         failures = [
             (rank, value)
             for rank, (ok, value) in enumerate(outcomes)
@@ -378,7 +385,16 @@ class WorkerPool:
             self._fail(f"{label} lost worker {description}")
 
     def _fail(self, reason: str) -> None:
-        """Terminate the pool and surface ``reason`` as a ProtocolError."""
+        """Terminate the pool and surface ``reason`` as a ProtocolError.
+
+        The active span path (engine run > superstep/stage > round >
+        barrier) is folded into the message: even the default no-op
+        tracer tracks span *names*, so a timeout or crash deep inside
+        ``run_many`` names the enclosing work without a debugger.
+        """
+        path = get_tracer().current_path()
+        if path:
+            reason = f"{reason} [active spans: {' > '.join(path)}]"
         self.terminate(reason=reason)
         raise ProtocolError(reason)
 

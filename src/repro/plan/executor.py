@@ -21,11 +21,14 @@ rounds, the task's per-stage lower bound); the whole pipeline becomes a
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
 
 from repro.data.distribution import Distribution
 from repro.engine import run_with_result
 from repro.errors import PlanError
+from repro.obs.tracer import get_tracer
 from repro.plan.optimizer import AGGREGATE_BITS, PhysicalPlan, PhysicalStage
 from repro.plan.relation import PlacedRelation, Schema
 from repro.queries.tuples import encode_tuples
@@ -207,58 +210,90 @@ def execute_plan(
     alongside the report (for output inspection and the property
     tests' multiset comparison).
     """
+    tracer = get_tracer()
+    started = perf_counter()
     results: list[PlacedRelation] = []
     stage_reports: list[RunReport] = []
-    for index, stage in enumerate(physical.stages):
-        if stage.kind == "scan":
-            relation = catalog.get(stage.relation)
-            if relation is None:
-                raise PlanError(
-                    f"catalog has no relation {stage.relation!r}"
+    with tracer.span(
+        f"plan.execute {physical.query}",
+        category="plan",
+        query=physical.query,
+        strategy=physical.strategy,
+        topology=physical.topology,
+        estimated_cost=physical.estimated_cost,
+    ):
+        for index, stage in enumerate(physical.stages):
+            if stage.kind == "scan":
+                relation = catalog.get(stage.relation)
+                if relation is None:
+                    raise PlanError(
+                        f"catalog has no relation {stage.relation!r}"
+                    )
+                if tuple(relation.schema.columns) != stage.output_columns:
+                    raise PlanError(
+                        f"catalog relation {stage.relation!r} no longer "
+                        "matches the compiled schema; re-run the optimizer"
+                    )
+                results.append(relation)
+                continue
+            if stage.kind == "filter":
+                child = results[stage.inputs[0]]
+                results.append(
+                    child.filter(stage.column, stage.op, stage.value)
                 )
-            if tuple(relation.schema.columns) != stage.output_columns:
-                raise PlanError(
-                    f"catalog relation {stage.relation!r} no longer matches "
-                    "the compiled schema; re-run the optimizer"
-                )
-            results.append(relation)
-            continue
-        if stage.kind == "filter":
-            child = results[stage.inputs[0]]
-            results.append(child.filter(stage.column, stage.op, stage.value))
-            continue
-        if stage.kind == "join":
-            report, produced = _execute_join(
-                stage,
-                index,
-                tree,
-                results[stage.inputs[0]],
-                results[stage.inputs[1]],
-                seed=seed,
-                verify=verify,
-            )
-            if report is None:
-                report = _empty_stage_report(stage, index, tree, "equijoin")
-            stage_reports.append(report)
-            results.append(produced)
-            continue
-        if stage.kind == "groupby":
-            report, produced = _execute_groupby(
-                stage,
-                index,
-                tree,
-                results[stage.inputs[0]],
-                seed=seed,
-                verify=verify,
-            )
-            if report is None:
-                report = _empty_stage_report(
-                    stage, index, tree, "groupby-aggregate"
-                )
-            stage_reports.append(report)
-            results.append(produced)
-            continue
-        raise PlanError(f"unknown stage kind {stage.kind!r}")
+                continue
+            if stage.kind == "join":
+                with tracer.span(
+                    f"stage {index} join",
+                    category="stage",
+                    operator=stage.describe(),
+                    protocol=stage.protocol or "local",
+                    est_cost=stage.est_cost,
+                    est_rows=stage.est_rows,
+                ) as span:
+                    report, produced = _execute_join(
+                        stage,
+                        index,
+                        tree,
+                        results[stage.inputs[0]],
+                        results[stage.inputs[1]],
+                        seed=seed,
+                        verify=verify,
+                    )
+                    if report is None:
+                        report = _empty_stage_report(
+                            stage, index, tree, "equijoin"
+                        )
+                    span.set(cost=report.cost, rounds=report.rounds)
+                stage_reports.append(report)
+                results.append(produced)
+                continue
+            if stage.kind == "groupby":
+                with tracer.span(
+                    f"stage {index} groupby",
+                    category="stage",
+                    operator=stage.describe(),
+                    protocol=stage.protocol or "local",
+                    est_cost=stage.est_cost,
+                    est_rows=stage.est_rows,
+                ) as span:
+                    report, produced = _execute_groupby(
+                        stage,
+                        index,
+                        tree,
+                        results[stage.inputs[0]],
+                        seed=seed,
+                        verify=verify,
+                    )
+                    if report is None:
+                        report = _empty_stage_report(
+                            stage, index, tree, "groupby-aggregate"
+                        )
+                    span.set(cost=report.cost, rounds=report.rounds)
+                stage_reports.append(report)
+                results.append(produced)
+                continue
+            raise PlanError(f"unknown stage kind {stage.kind!r}")
 
     output = results[physical.output]
     report = PlanReport(
@@ -280,6 +315,7 @@ def execute_plan(
                 for i, s in enumerate(physical.stages)
             ],
         },
+        wall_time_s=perf_counter() - started,
     )
     if keep_output:
         return report, output

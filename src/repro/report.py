@@ -61,6 +61,9 @@ class RunReport:
     cost: float
     lower_bound: float
     meta: dict = field(default_factory=dict)
+    #: Measured protocol execution seconds (``None`` when the producer
+    #: did not time the run — e.g. reports rebuilt from pre-obs JSON).
+    wall_time_s: float | None = None
 
     @property
     def ratio(self) -> float:
@@ -91,11 +94,17 @@ class RunReport:
             "lower_bound": self.lower_bound,
             "ratio": ratio if math.isfinite(ratio) else None,
             "meta": _jsonify(self.meta),
+            "wall_time_s": self.wall_time_s,
         }
 
     @classmethod
     def from_dict(cls, payload: dict) -> "RunReport":
-        """Rebuild a report from :meth:`to_dict` output (or parsed JSON)."""
+        """Rebuild a report from :meth:`to_dict` output (or parsed JSON).
+
+        ``wall_time_s`` is optional: payloads written before the field
+        existed rebuild with ``None``.
+        """
+        wall_time_s = payload.get("wall_time_s")
         try:
             return cls(
                 task=payload["task"],
@@ -107,6 +116,9 @@ class RunReport:
                 cost=float(payload["cost"]),
                 lower_bound=float(payload["lower_bound"]),
                 meta=payload.get("meta", {}),
+                wall_time_s=(
+                    None if wall_time_s is None else float(wall_time_s)
+                ),
             )
         except KeyError as missing:
             raise AnalysisError(
@@ -160,6 +172,9 @@ class PlanReport:
     estimated_cost: float
     output_rows: int
     meta: dict = field(default_factory=dict)
+    #: End-to-end plan execution seconds (per-stage times live on the
+    #: stage reports); ``None`` for payloads predating the field.
+    wall_time_s: float | None = None
 
     @property
     def cost(self) -> float:
@@ -209,10 +224,12 @@ class PlanReport:
             "rounds": self.rounds,
             "lower_bound": self.lower_bound,
             "meta": _jsonify(self.meta),
+            "wall_time_s": self.wall_time_s,
         }
 
     @classmethod
     def from_dict(cls, payload: dict) -> "PlanReport":
+        wall_time_s = payload.get("wall_time_s")
         try:
             return cls(
                 query=payload["query"],
@@ -224,6 +241,9 @@ class PlanReport:
                 estimated_cost=float(payload["estimated_cost"]),
                 output_rows=int(payload["output_rows"]),
                 meta=payload.get("meta", {}),
+                wall_time_s=(
+                    None if wall_time_s is None else float(wall_time_s)
+                ),
             )
         except KeyError as missing:
             raise AnalysisError(
@@ -256,6 +276,9 @@ class GraphRunReport:
     lower_bound: float
     converged: bool
     meta: dict = field(default_factory=dict)
+    #: End-to-end workload seconds (per-superstep times live on the
+    #: step reports); ``None`` for payloads predating the field.
+    wall_time_s: float | None = None
 
     @property
     def cost(self) -> float:
@@ -309,10 +332,12 @@ class GraphRunReport:
             # infinite ratios (cost over a zero bound) are not valid JSON
             "ratio": ratio if math.isfinite(ratio) else None,
             "meta": _jsonify(self.meta),
+            "wall_time_s": self.wall_time_s,
         }
 
     @classmethod
     def from_dict(cls, payload: dict) -> "GraphRunReport":
+        wall_time_s = payload.get("wall_time_s")
         try:
             return cls(
                 task=payload["task"],
@@ -327,6 +352,9 @@ class GraphRunReport:
                 lower_bound=float(payload["lower_bound"]),
                 converged=bool(payload["converged"]),
                 meta=payload.get("meta", {}),
+                wall_time_s=(
+                    None if wall_time_s is None else float(wall_time_s)
+                ),
             )
         except KeyError as missing:
             raise AnalysisError(

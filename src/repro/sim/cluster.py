@@ -32,12 +32,14 @@ from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
+from time import perf_counter
 from typing import Callable, Hashable, Iterable, Iterator, Sequence
 
 import numpy as np
 
 from repro.data.distribution import Distribution
 from repro.errors import ProtocolError
+from repro.obs.tracer import get_tracer
 from repro.sim.ledger import CostLedger
 from repro.topology.steiner import PathOracle
 from repro.topology.tree import NodeId, TreeTopology, node_sort_key
@@ -494,19 +496,34 @@ class RoundContext:
         :meth:`CostLedger.add_loads` rather than once per transfer.
         Addition over element counts is commutative, so the per-edge
         loads equal the per-transfer path's exactly.
+
+        When a recording tracer is installed, the finalizer splits its
+        wall time into *group* (collection + argsort), *deliver*
+        (storage appends), and *charge* (tree-flow accounting) phases
+        and annotates the enclosing round span with them alongside the
+        ledger-derived round attrs; with the default no-op tracer no
+        clock is read.
         """
         cluster = self._cluster
         storage = cluster._storage
+        tracer = get_tracer()
+        phases = (
+            {"group": 0.0, "deliver": 0.0, "charge": 0.0}
+            if tracer.enabled
+            else None
+        )
         cluster.ledger.open_round()
         loads: dict = {}
 
         if self._unicast_stream:
+            t0 = perf_counter() if phases is not None else 0.0
             routing, by_tag, pair_matrix = self._collect_unicasts()
             node_names = routing.nodes
-            # deliver: one grouping pass per tag over the whole round;
-            # the argsort is stable and parts are concatenated in
-            # registration order, so per-(dst, tag) contents match the
-            # per-transfer path exactly
+            # group: one pass per tag over the whole round; the argsort
+            # is stable and parts are concatenated in registration
+            # order, so per-(dst, tag) contents match the per-transfer
+            # path exactly
+            grouped = []
             for tag, parts in by_tag.items():
                 if len(parts) == 1:
                     all_dst, all_payload = parts[0]
@@ -514,20 +531,35 @@ class RoundContext:
                     all_dst = np.concatenate([p[0] for p in parts])
                     all_payload = np.concatenate([p[1] for p in parts])
                 order, uniques, starts, ends = group_slices(all_dst)
-                sorted_payload = all_payload[order]
+                grouped.append((tag, all_payload[order], uniques, starts, ends))
+            if phases is not None:
+                t1 = perf_counter()
+                phases["group"] += t1 - t0
+            # deliver: install the grouped slices into node storage
+            for tag, sorted_payload, uniques, starts, ends in grouped:
                 for dst_id, start, end in zip(
                     uniques.tolist(), starts.tolist(), ends.tolist()
                 ):
                     storage.setdefault(node_names[dst_id], {}).setdefault(
                         tag, []
                     ).append(sorted_payload[start:end])
+            if phases is not None:
+                t2 = perf_counter()
+                phases["deliver"] += t2 - t1
             loads = self._apply_pair_loads(routing, pair_matrix)
+            if phases is not None:
+                phases["charge"] += perf_counter() - t2
 
         if self._multicasts:
-            self._deliver_multicasts(loads)
+            self._deliver_multicasts(loads, phases)
         if loads:
+            t3 = perf_counter() if phases is not None else 0.0
             cluster.ledger.add_loads(loads.keys(), loads.values())
+            if phases is not None:
+                phases["charge"] += perf_counter() - t3
         cluster.ledger.close_round()
+        if phases is not None:
+            self._annotate_round(tracer, phases)
 
     def _collect_unicasts(
         self,
@@ -591,7 +623,7 @@ class RoundContext:
             received[node] = received.get(node, 0) + int(arrivals[index])
         return loads
 
-    def _deliver_multicasts(self, loads: dict) -> None:
+    def _deliver_multicasts(self, loads: dict, phases: dict | None = None) -> None:
         """Deliver and charge the round's multicast stream in bulk.
 
         Group ids are lifted into a per-tag global id space (each
@@ -613,6 +645,7 @@ class RoundContext:
         # tag -> parallel (global group ids, payload) parts and the
         # (base, src, sets) record table that resolves a global id back
         # to its source and destination set
+        t0 = perf_counter() if phases is not None else 0.0
         parts_by_tag: dict[str, list[tuple[np.ndarray, np.ndarray]]] = {}
         records_by_tag: dict[str, list[tuple[int, NodeId, tuple]]] = {}
         next_base: dict[str, int] = {}
@@ -625,11 +658,14 @@ class RoundContext:
             parts_by_tag.setdefault(tag, []).append((gids, payload))
             records_by_tag.setdefault(tag, []).append((base, src, sets))
             next_base[tag] = base + len(sets)
+        if phases is not None:
+            phases["group"] += perf_counter() - t0
         set_ids: dict[frozenset, np.ndarray] = {}
         batch_src: list[int] = []
         batch_sets: list[np.ndarray] = []
         batch_counts: list[int] = []
         for tag, parts in parts_by_tag.items():
+            t1 = perf_counter() if phases is not None else 0.0
             if len(parts) == 1:
                 all_gids, all_payload = parts[0]
             else:
@@ -637,6 +673,9 @@ class RoundContext:
                 all_payload = np.concatenate([p[1] for p in parts])
             order, uniques, starts, ends = group_slices(all_gids)
             sorted_payload = all_payload[order]
+            if phases is not None:
+                t2 = perf_counter()
+                phases["group"] += t2 - t1
             records = records_by_tag[tag]
             position = 0
             for gid, start, end in zip(
@@ -666,6 +705,9 @@ class RoundContext:
                     )
                     if dst != src:
                         received[dst] = received.get(dst, 0) + count
+            if phases is not None:
+                phases["deliver"] += perf_counter() - t2
+        t3 = perf_counter() if phases is not None else 0.0
         lens = np.fromiter(
             (len(ids) for ids in batch_sets), np.intp, len(batch_sets)
         )
@@ -679,6 +721,42 @@ class RoundContext:
         )
         for edge, count in multicast_loads.items():
             loads[edge] = loads.get(edge, 0) + count
+        if phases is not None:
+            phases["charge"] += perf_counter() - t3
+
+    def _annotate_round(self, tracer, phases: dict | None = None) -> None:
+        """Attach ledger-derived attrs to the enclosing round span.
+
+        Called after ``close_round`` by every finalizer (bulk, legacy
+        per-send, and the process substrate's), so the round span
+        carries the same model-cost facts regardless of the execution
+        path: the round's cost, its most-loaded edge, and the
+        registered payload volume per tag.  ``phases`` adds the
+        finalize-time split when the finalizer measured one.
+        """
+        ledger = self._cluster.ledger
+        index = ledger.num_rounds - 1
+        round_loads = ledger.round_loads(index)
+        elements: dict[str, int] = {}
+        for _src, _nodes, _targets, payload, tag in self._unicast_stream:
+            elements[tag] = elements.get(tag, 0) + len(payload)
+        for _src, _sets, _gids, payload, tag in self._multicasts:
+            elements[tag] = elements.get(tag, 0) + len(payload)
+        bits = ledger.bits_per_element
+        attrs = {
+            "round": index,
+            "round_cost": ledger.round_cost(index),
+            "max_edge_load": max(round_loads.values(), default=0),
+            "elements_by_tag": elements,
+            "bytes_by_tag": {
+                tag: count * bits // 8 for tag, count in elements.items()
+            },
+        }
+        if phases is not None:
+            attrs["t_group_s"] = phases["group"]
+            attrs["t_deliver_s"] = phases["deliver"]
+            attrs["t_charge_s"] = phases["charge"]
+        tracer.annotate(**attrs)
 
     def _finalize_per_transfer(self) -> None:
         """The legacy finalizer: walk transfers one at a time.
@@ -714,6 +792,9 @@ class RoundContext:
                     payloads
                 )
         cluster.ledger.close_round()
+        tracer = get_tracer()
+        if tracer.enabled:
+            self._annotate_round(tracer)
 
 
 class Cluster:
@@ -850,11 +931,18 @@ class Cluster:
             raise ProtocolError("a round is already in progress")
         self._round_open = True
         context = self._make_round_context()
-        try:
-            yield context
-        finally:
-            self._round_open = False
-        context._finalize()
+        # one span per round, covering both the protocol's local work
+        # and finalization; finalize still runs only on clean exit
+        with get_tracer().span(
+            f"round {self.ledger.num_rounds}",
+            category="round",
+            backend=self.backend,
+        ):
+            try:
+                yield context
+            finally:
+                self._round_open = False
+            context._finalize()
 
     @property
     def rounds_executed(self) -> int:

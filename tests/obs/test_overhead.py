@@ -1,0 +1,53 @@
+"""The tracing-off overhead guard.
+
+The contract from the design: with no recording tracer installed, the
+instrumentation costs one thread-local attribute lookup plus a no-op
+span per *round* (never per element).  This test prices the full
+disabled hook sequence a round touches and asserts it stays far under
+5% of the small-grid bench_speed round time — the budget the CI smoke
+enforces end-to-end.
+"""
+
+from time import perf_counter
+
+from repro.analysis.speed import _run_round, fat_tree, prepare_uniform_hash
+from repro.obs.tracer import NullTracer, get_tracer
+
+
+def _disabled_hook_seconds(repeats: int = 20_000) -> float:
+    """Per-iteration cost of every hook a disabled round executes."""
+    tracer = get_tracer()
+    assert isinstance(tracer, NullTracer)
+    start = perf_counter()
+    for index in range(repeats):
+        with tracer.span(f"round {index}", category="round", backend="sim"):
+            if tracer.enabled:  # the gate phase timers hide behind
+                raise AssertionError("tracer should be disabled")
+            tracer.annotate(cost=1.0)
+    return (perf_counter() - start) / repeats
+
+
+class TestDisabledOverhead:
+    def test_null_hooks_are_under_five_percent_of_a_small_round(self):
+        tree = fat_tree(4)
+        prepared, _ = prepare_uniform_hash(tree, 50_000, 7)
+        round_seconds = min(
+            _run_round(tree, prepared, "bulk")[0] for _ in range(3)
+        )
+        hook_seconds = _disabled_hook_seconds()
+        # A bulk round opens one round span; allow 20 hook executions
+        # of headroom and the margin is still enormous (~microseconds
+        # of hooks vs milliseconds of round).
+        assert hook_seconds * 20 < 0.05 * round_seconds, (
+            f"disabled tracing hooks cost {hook_seconds * 1e6:.2f}us each "
+            f"vs a {round_seconds * 1e3:.2f}ms round — the no-op path "
+            "grew real work"
+        )
+
+    def test_null_tracer_records_nothing_during_a_round(self):
+        tree = fat_tree(2)
+        prepared, _ = prepare_uniform_hash(tree, 2_000, 7)
+        tracer = get_tracer()
+        _run_round(tree, prepared, "bulk")
+        assert tracer.events == ()
+        assert tracer.current_path() == ()
