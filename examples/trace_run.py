@@ -37,7 +37,7 @@ def main() -> None:
           f"in {report.rounds} rounds ({report.wall_time_s:.3f}s)\n")
 
     # 1. The flat summary: spans aggregated by category.
-    summary = repro.metrics(tracer)
+    summary = repro.span_metrics(tracer)
     print("span category     count   total")
     for category, bucket in sorted(summary["spans"].items()):
         print(f"{category:<16}  {bucket['count']:>5}   "

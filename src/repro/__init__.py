@@ -128,12 +128,18 @@ from repro.graphs import (
     run_triangles,
 )
 from repro.obs import (
+    auditing,
     chrome_trace,
+    collecting,
     get_tracer,
-    metrics,
+    span_metrics,
     tracing,
     write_chrome_trace,
 )
+
+# pre-registry spelling of span_metrics; at the top level there is no
+# submodule named "metrics" to collide with, so the alias stays
+metrics = span_metrics
 from repro.report import GraphRunReport, PlanReport
 from repro.analysis import (
     RunReport,
@@ -246,8 +252,11 @@ __all__ = [
     "random_graph_distribution",
     # observability (repro.obs has the full subsystem API)
     "tracing",
+    "collecting",
+    "auditing",
     "get_tracer",
     "chrome_trace",
+    "span_metrics",
     "metrics",
     "write_chrome_trace",
     # analysis

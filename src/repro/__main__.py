@@ -22,6 +22,16 @@ Tracing: ``python -m repro trace cc --backend process`` runs one task
 under the :mod:`repro.obs` tracer and writes a Chrome-trace JSON
 (load it at ``chrome://tracing`` or https://ui.perfetto.dev), and every
 other command accepts ``--trace FILE`` to record whatever it runs.
+
+Observability: ``python -m repro metrics cc`` runs one task under the
+metrics registry and prints the Prometheus exposition text (``--json``
+for the raw snapshot, ``--output FILE`` to write it); every other
+command accepts ``--metrics FILE`` for the same snapshot and
+``--audit {record,strict}`` to check each simulated round against the
+Section-2 cost model.  ``python -m repro bench check`` replays the
+committed ``BENCH_*.json`` trajectories through the regression
+sentinel (:mod:`repro.obs.regress`) and exits non-zero on a
+regression.
 """
 
 from __future__ import annotations
@@ -69,12 +79,20 @@ def _cmd_table1(args: argparse.Namespace) -> int:
             stats["max_rounds"],
             fmt(stats["max_ratio"]),
             fmt(stats["mean_ratio"]),
+            fmt(stats["wall_s"]),
         ]
         for task, stats in summary.items()
     ]
     print(
         render_table(
-            ["task", "runs", "max rounds", "max ratio", "mean ratio"],
+            [
+                "task",
+                "runs",
+                "max rounds",
+                "max ratio",
+                "mean ratio",
+                "wall s",
+            ],
             rows,
             title=(
                 "Table 1 reproduction "
@@ -128,12 +146,16 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             **backend_opts,
         )
         reports.extend([aware, base])
+        fmt_wall = lambda r: (
+            "n/a" if r.wall_time_s is None else f"{r.wall_time_s:.3f}"
+        )
         rows.append(
             [
                 task,
                 f"{aware.cost:.0f}",
                 f"{base.cost:.0f}",
                 f"{base.cost / aware.cost:.2f}x",
+                f"{fmt_wall(aware)}/{fmt_wall(base)}",
             ]
         )
     if args.json:
@@ -141,7 +163,13 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         return 0
     print(
         render_table(
-            ["task", "topology-aware", "MPC-style baseline", "speedup"],
+            [
+                "task",
+                "topology-aware",
+                "MPC-style baseline",
+                "speedup",
+                "wall s (aware/base)",
+            ],
             rows,
             title=f"Head-to-head on {tree.name} "
             f"(|R|={args.r_size}, |S|={args.s_size})",
@@ -288,9 +316,11 @@ def _cmd_graphs(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    """Substrate benchmarks: exchange A/B (``speed``), workers (``scale``)."""
+    """Substrate benchmarks: ``speed`` A/B, ``scale`` grid, ``check``."""
     if args.subcommand == "scale":
         return _cmd_bench_scale(args)
+    if args.subcommand == "check":
+        return _cmd_bench_check(args)
     from repro.analysis.speed import (
         check_cases,
         run_speed_suite,
@@ -301,7 +331,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.subcommand != "speed":
         print(
             f"error: unknown bench subcommand {args.subcommand!r}; "
-            "available: speed, scale",
+            "available: speed, scale, check",
             file=sys.stderr,
         )
         return 2
@@ -371,14 +401,67 @@ def _cmd_bench_scale(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_trace(args: argparse.Namespace) -> int:
-    """Run one task under the tracer; write a Chrome-trace JSON."""
+def _cmd_bench_check(args: argparse.Namespace) -> int:
+    """Regression sentinel over the committed bench trajectories."""
+    import os
+
+    from repro.obs.regress import (
+        SEVERITY,
+        check_trajectory_file,
+        regression_table,
+    )
+
+    paths = list(args.extra)
+    if not paths:
+        paths = [
+            name
+            for name in ("BENCH_SPEED.json", "BENCH_SCALE.json")
+            if os.path.exists(name)
+        ]
+        if not paths:
+            print(
+                "error: no trajectory files found (looked for "
+                "BENCH_SPEED.json / BENCH_SCALE.json); pass paths "
+                "explicitly: repro bench check FILE ...",
+                file=sys.stderr,
+            )
+            return 2
+    worst = "pass"
+    payload = {}
+    for path in paths:
+        verdict, checks = check_trajectory_file(path)
+        if SEVERITY[verdict] > SEVERITY[worst]:
+            worst = verdict
+        if args.json:
+            payload[path] = {
+                "verdict": verdict,
+                "checks": [check.to_dict() for check in checks],
+            }
+            continue
+        headers, rows = regression_table(checks)
+        print(
+            render_table(
+                headers,
+                rows,
+                title=f"bench check {path}: {verdict.upper()}",
+            )
+        )
+        print()
+    if args.json:
+        payload["verdict"] = worst
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"bench check: {worst.upper()} across {len(paths)} file(s)")
+    return 1 if worst == "fail" else 0
+
+
+def _one_task_instance(args: argparse.Namespace):
+    """Build the (task spec, tree, distribution) triple for trace/metrics."""
     from repro.analysis.speed import fat_tree
     from repro.data.generators import (
         random_graph_distribution,
         random_tuple_distribution,
     )
-    from repro.obs import metrics, tracing, write_chrome_trace
     from repro.registry import get_task
 
     task_spec = get_task(args.subcommand or "connected-components")
@@ -406,6 +489,63 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             policy=args.placement,
             seed=args.seed,
         )
+    return task_spec, tree, dist
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Run one task under the metrics registry; expose the snapshot."""
+    from repro.obs import collecting, prometheus_text, write_snapshot
+
+    task_spec, tree, dist = _one_task_instance(args)
+    backend_opts = (
+        {"backend": args.backend, "num_workers": args.num_workers}
+        if args.backend != "sim"
+        else {}
+    )
+    with collecting() as registry:
+        report = run(
+            task_spec.name,
+            tree,
+            dist,
+            protocol=args.protocol,
+            seed=args.seed,
+            placement=args.placement,
+            **backend_opts,
+        )
+    snap = registry.snapshot()
+    series = sum(
+        len(family) for group in snap.values() for family in group.values()
+    )
+    if args.output:
+        try:
+            write_snapshot(args.output, snap)
+        except OSError as error:
+            print(
+                f"error: cannot write metrics file: {error}",
+                file=sys.stderr,
+            )
+            return 2
+        print(
+            f"metrics: {series} series -> {args.output}", file=sys.stderr
+        )
+    if args.json:
+        print(json.dumps(snap, indent=2, allow_nan=False))
+    else:
+        print(prometheus_text(snap), end="")
+    print(
+        f"# run: task={report.task} protocol={report.protocol} "
+        f"backend={args.backend} cost={report.cost:.1f} "
+        f"rounds={report.rounds}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Run one task under the tracer; write a Chrome-trace JSON."""
+    from repro.obs import span_metrics, tracing, write_chrome_trace
+
+    task_spec, tree, dist = _one_task_instance(args)
     backend_opts = (
         {"backend": args.backend, "num_workers": args.num_workers}
         if args.backend != "sim"
@@ -423,7 +563,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         )
     output = args.output or f"{task_spec.name}.trace.json"
     try:
-        payload = write_chrome_trace(output, tracer, metrics=metrics(tracer))
+        payload = write_chrome_trace(
+            output, tracer, metrics=span_metrics(tracer)
+        )
     except OSError as error:
         print(f"error: cannot write trace file: {error}", file=sys.stderr)
         return 2
@@ -591,6 +733,25 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--metrics",
+        metavar="FILE",
+        default=None,
+        help=(
+            "record the command under the repro.obs metrics registry "
+            "and write the JSON snapshot to FILE"
+        ),
+    )
+    parser.add_argument(
+        "--audit",
+        default="off",
+        choices=["off", "record", "strict"],
+        help=(
+            "audit every simulated round against the Section-2 cost "
+            "model; 'record' reports violations on exit, 'strict' "
+            "aborts on the first one (default off)"
+        ),
+    )
+    parser.add_argument(
         "--racks",
         type=int,
         default=8,
@@ -618,6 +779,7 @@ def main(argv: list[str] | None = None) -> int:
             "graphs",
             "bench",
             "trace",
+            "metrics",
         ],
         help="which reproduction to run",
     )
@@ -626,13 +788,29 @@ def main(argv: list[str] | None = None) -> int:
         nargs="?",
         default=None,
         help=(
-            "bench: which benchmark to run ('speed' or 'scale'); "
-            "trace: which task to trace (default connected-components)"
+            "bench: which benchmark to run ('speed', 'scale' or "
+            "'check'); trace/metrics: which task to run (default "
+            "connected-components)"
         ),
     )
-    args = parser.parse_args(argv)
-    if args.command not in ("bench", "trace") and args.subcommand is not None:
-        parser.error(f"unrecognized arguments: {args.subcommand}")
+    parser.add_argument(
+        "extra",
+        nargs="*",
+        default=[],
+        help="bench check: trajectory files (default BENCH_*.json)",
+    )
+    # intermixed: flags may appear between positionals, e.g.
+    # ``repro bench check --json FILE``
+    args = parser.parse_intermixed_args(argv)
+    if args.command not in ("bench", "trace", "metrics"):
+        if args.subcommand is not None:
+            parser.error(f"unrecognized arguments: {args.subcommand}")
+    if args.extra and not (
+        args.command == "bench" and args.subcommand == "check"
+    ):
+        parser.error(
+            f"unrecognized arguments: {' '.join(args.extra)}"
+        )
     if args.command == "bench" and args.subcommand is None:
         args.subcommand = "speed"
     if args.executor == "process" and args.backend == "process":
@@ -649,34 +827,96 @@ def main(argv: list[str] | None = None) -> int:
         "graphs": _cmd_graphs,
         "bench": _cmd_bench,
         "trace": _cmd_trace,
+        "metrics": _cmd_metrics,
     }
     try:
-        if args.trace is not None and args.command != "trace":
-            # --trace FILE: record whatever the command runs and write
-            # the Chrome-trace JSON (metrics summary embedded) on exit.
-            from repro.obs import metrics, tracing, write_chrome_trace
-
-            with tracing() as tracer:
-                status = handlers[args.command](args)
-            try:
-                write_chrome_trace(
-                    args.trace, tracer, metrics=metrics(tracer)
-                )
-            except OSError as error:
-                print(
-                    f"error: cannot write trace file: {error}",
-                    file=sys.stderr,
-                )
-                return 2
-            print(
-                f"trace: {len(tracer.events)} spans -> {args.trace}",
-                file=sys.stderr,
-            )
-            return status
-        return handlers[args.command](args)
+        return _dispatch(args, handlers)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+
+
+def _dispatch(args: argparse.Namespace, handlers: dict) -> int:
+    """Run the command under whatever global instrumentation is on.
+
+    ``--trace FILE`` / ``--metrics FILE`` record the whole command and
+    write the Chrome-trace / metrics-snapshot JSON on exit (skipped for
+    the commands that already own that plumbing); ``--audit`` installs
+    a :class:`~repro.obs.CostAuditor` around everything and, in
+    ``record`` mode, turns any violation into a non-zero exit.
+    """
+    from contextlib import ExitStack
+
+    tracer = registry = auditor = None
+    with ExitStack() as stack:
+        if args.trace is not None and args.command != "trace":
+            from repro.obs import tracing
+
+            tracer = stack.enter_context(tracing())
+        if args.metrics is not None and args.command != "metrics":
+            from repro.obs import collecting
+
+            registry = stack.enter_context(collecting())
+        if args.audit != "off":
+            from repro.obs import auditing
+
+            auditor = stack.enter_context(
+                auditing(strict=args.audit == "strict")
+            )
+        status = handlers[args.command](args)
+    if tracer is not None:
+        from repro.obs import span_metrics, write_chrome_trace
+
+        try:
+            write_chrome_trace(
+                args.trace, tracer, metrics=span_metrics(tracer)
+            )
+        except OSError as error:
+            print(
+                f"error: cannot write trace file: {error}", file=sys.stderr
+            )
+            return 2
+        print(
+            f"trace: {len(tracer.events)} spans -> {args.trace}",
+            file=sys.stderr,
+        )
+    if registry is not None:
+        from repro.obs import write_snapshot
+
+        try:
+            snap = write_snapshot(args.metrics, registry)
+        except OSError as error:
+            print(
+                f"error: cannot write metrics file: {error}",
+                file=sys.stderr,
+            )
+            return 2
+        series = sum(
+            len(family)
+            for group in snap.values()
+            for family in group.values()
+        )
+        print(
+            f"metrics: {series} series -> {args.metrics}", file=sys.stderr
+        )
+    if auditor is not None:
+        summary = auditor.summary()
+        print(
+            f"audit: {summary['rounds_checked']} round(s) and "
+            f"{summary['bounds_checked']} bound(s) checked, "
+            f"{summary['violations']} violation(s)",
+            file=sys.stderr,
+        )
+        if summary["violations"]:
+            for violation in auditor.violations[:10]:
+                print(
+                    f"audit violation [{violation['invariant']}]: "
+                    f"{violation['detail']}",
+                    file=sys.stderr,
+                )
+            if status == 0:
+                status = 1
+    return status
 
 
 if __name__ == "__main__":

@@ -29,6 +29,8 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.obs.audit import get_auditor, use_auditor
+from repro.obs.metrics import LATENCY_BUCKETS, get_registry, use_registry
 from repro.obs.tracer import get_tracer, use_tracer
 from repro.report import RunReport
 from repro.core.cartesian.lower_bounds import cartesian_lower_bound
@@ -292,6 +294,16 @@ def run_with_result(
     else:
         substrate = nullcontext()
     tracer = get_tracer()
+    registry = get_registry()
+    run_labels = (
+        {
+            "task": task_spec.name,
+            "protocol": spec.name,
+            "backend": resolved_backend,
+        }
+        if registry.enabled
+        else None
+    )
     # The root span of a task execution: everything below — supersteps,
     # plan stages, rounds, worker barriers — nests under it, and pool
     # failures report their position relative to it.
@@ -305,12 +317,46 @@ def run_with_result(
         placement=placement,
     ) as root:
         started = perf_counter()
-        with substrate:
-            result = spec.call(tree, distribution, seed=seed, **opts)
+        try:
+            with substrate:
+                result = spec.call(tree, distribution, seed=seed, **opts)
+        except Exception:
+            if run_labels is not None:
+                registry.counter(
+                    "repro_runs_total", status="error", **run_labels
+                ).inc()
+            raise
         wall_time_s = perf_counter() - started
+        if run_labels is not None:
+            registry.histogram(
+                "repro_run_seconds",
+                buckets=LATENCY_BUCKETS,
+                task=task_spec.name,
+                backend=resolved_backend,
+            ).observe(wall_time_s)
         if verify and task_spec.verifier is not None:
             with tracer.span("engine.verify", category="verify"):
-                task_spec.verifier(tree, distribution, result)
+                try:
+                    task_spec.verifier(tree, distribution, result)
+                except Exception:
+                    if run_labels is not None:
+                        registry.counter(
+                            "repro_verify_total",
+                            outcome="fail",
+                            task=task_spec.name,
+                        ).inc()
+                        registry.counter(
+                            "repro_runs_total", status="error", **run_labels
+                        ).inc()
+                    raise
+            if run_labels is not None:
+                registry.counter(
+                    "repro_verify_total", outcome="pass", task=task_spec.name
+                ).inc()
+        elif run_labels is not None:
+            registry.counter(
+                "repro_verify_total", outcome="skipped", task=task_spec.name
+            ).inc()
         bound = None
         if task_spec.lower_bound is not None:
             bound_opts = {
@@ -322,7 +368,26 @@ def run_with_result(
                 bound = task_spec.lower_bound(
                     tree, distribution, **bound_opts
                 )
+        if run_labels is not None:
+            registry.counter(
+                "repro_runs_total", status="ok", **run_labels
+            ).inc()
         root.set(cost=result.cost, rounds=result.rounds)
+    auditor = get_auditor()
+    if auditor.enabled and bound is not None:
+        auditor.check_bound(
+            cost=result.cost,
+            bound=bound.value,
+            task=task_spec.name,
+            protocol=result.protocol,
+            per_instance=task_spec.bound_holds_per_instance,
+        )
+    meta = {
+        "result": result.meta,
+        "bound": bound.description if bound is not None else "",
+    }
+    if registry.enabled:
+        meta["metrics"] = registry.summary()
     report = RunReport(
         task=task_spec.name,
         protocol=result.protocol,
@@ -332,10 +397,7 @@ def run_with_result(
         rounds=result.rounds,
         cost=result.cost,
         lower_bound=bound.value if bound is not None else 0.0,
-        meta={
-            "result": result.meta,
-            "bound": bound.description if bound is not None else "",
-        },
+        meta=meta,
         wall_time_s=wall_time_s,
     )
     return report, result
@@ -442,14 +504,27 @@ def run_many(
         pool = get_pool(workers if workers is not None else 2)
         return pool.scatter(PLAN_JOB, list(enumerate(normalized)))
     tracer = get_tracer()
-    if tracer.enabled:
-        # Carry the caller's recording tracer onto the executor threads
-        # (its event buffer is shared and locked; span stacks are
-        # per-thread).  The no-op tracer is *not* shared — its path
-        # stack is single-threaded state.
+    registry = get_registry()
+    auditor = get_auditor()
+    if tracer.enabled or registry.enabled or auditor.enabled:
+        # Carry the caller's recording tracer, metrics registry, and
+        # auditor onto the executor threads (tracer buffer and registry
+        # instruments are shared and locked; span stacks are
+        # per-thread).  The no-op instances are *not* shared — the
+        # null tracer's path stack is single-threaded state.
         def _mapper(indexed: tuple[int, RunPlan]) -> RunReport:
-            with use_tracer(tracer):
-                return _execute_annotated(indexed)
+            with use_tracer(tracer) if tracer.enabled else nullcontext():
+                with (
+                    use_registry(registry)
+                    if registry.enabled
+                    else nullcontext()
+                ):
+                    with (
+                        use_auditor(auditor)
+                        if auditor.enabled
+                        else nullcontext()
+                    ):
+                        return _execute_annotated(indexed)
 
     else:
         _mapper = _execute_annotated

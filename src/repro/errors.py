@@ -61,3 +61,13 @@ class PlanError(ReproError):
     encoding, or a group-by whose key column exceeds the width the
     shuffle encoding supports.
     """
+
+
+class AuditError(ReproError):
+    """A cost-model invariant failed under strict auditing.
+
+    Raised by :class:`repro.obs.audit.CostAuditor` when a finalized
+    round's deliveries, charges, or reported cost contradict the
+    Section 2 model (or a run's cost beats its own lower bound) and the
+    auditor was installed with ``strict=True``.
+    """

@@ -533,6 +533,7 @@ register_task(
     verifier=_verify_components,
     lower_bound=components_lower_bound,
     lower_bound_opts=("tag",),
+    bound_holds_per_instance=True,
     aliases=("cc", "components", "connectivity"),
 )
 

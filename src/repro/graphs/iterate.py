@@ -27,6 +27,7 @@ from contextlib import contextmanager
 from time import perf_counter
 from typing import Iterator
 
+from repro.obs.metrics import get_registry
 from repro.obs.tracer import get_tracer
 from repro.report import GraphRunReport, RunReport
 from repro.sim.cluster import Cluster, RoundContext, make_cluster
@@ -111,6 +112,7 @@ class SuperstepDriver:
                 **opts,
             )
             self._absorb(result.ledger)
+        self._record_step_metrics(task, "protocol", distribution.total())
         self._steps.append(report)
         return result
 
@@ -136,6 +138,7 @@ class SuperstepDriver:
             with self._cluster.round() as ctx:
                 yield ctx
         index = self.ledger.num_rounds - 1
+        self._record_step_metrics(task, "cluster-round", input_size)
         self._steps.append(
             RunReport(
                 task=task,
@@ -162,7 +165,38 @@ class SuperstepDriver:
             return
         from dataclasses import replace
 
+        previous = self._steps[-1].input_size
+        task = self._steps[-1].task
         self._steps[-1] = replace(self._steps[-1], input_size=input_size)
+        registry = get_registry()
+        if registry.enabled and input_size > previous:
+            # The round's element count was unknown when the row was
+            # built; count the late-reported volume now.
+            registry.counter(
+                "repro_superstep_elements_total",
+                task=task,
+                phase="cluster-round",
+            ).inc(input_size - previous)
+
+    def _record_step_metrics(
+        self, task: str, phase: str, elements: int
+    ) -> None:
+        """Per-phase superstep counters (the Snippet-1 discipline).
+
+        ``phase`` distinguishes engine-dispatched protocol steps from
+        driver-level cluster rounds, so a workload's step mix — and the
+        element volume each phase moved — is scrapeable per task.
+        """
+        registry = get_registry()
+        if not registry.enabled:
+            return
+        registry.counter(
+            "repro_supersteps_total", task=task, phase=phase
+        ).inc()
+        if elements:
+            registry.counter(
+                "repro_superstep_elements_total", task=task, phase=phase
+            ).inc(int(elements))
 
     def _absorb(self, ledger: CostLedger) -> None:
         """Replay an inner protocol's per-round loads into the master.

@@ -386,6 +386,7 @@ register_task(
     verifier=_verify_triangles,
     lower_bound=triangles_lower_bound,
     lower_bound_opts=("tag",),
+    bound_holds_per_instance=True,
     aliases=("triangles",),
 )
 

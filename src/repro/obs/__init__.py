@@ -1,23 +1,36 @@
-"""repro.obs — structured tracing and metrics for the whole stack.
+"""repro.obs — tracing, metrics, auditing, and regression sentinels.
 
 The cost model says what a protocol *should* cost per round; this
 package records where wall-clock time and bytes *actually* go as a run
 flows engine → plan stages → supersteps → round finalization → worker
-ranks.  Zero dependencies, zero configuration: a no-op tracer is
-installed per thread by default, so instrumented code pays one
-attribute lookup when tracing is off, and :func:`tracing` swaps in a
-recording :class:`Tracer` for a ``with`` block.
+ranks, keeps standing counters a long-lived engine can expose, audits
+the Section-2 invariants on every finalized round, and gates the
+committed benchmark trajectories against regressions.  Zero
+dependencies, zero configuration: no-op instances are installed per
+thread by default, so instrumented code pays one attribute lookup when
+observability is off.
+
+* :mod:`repro.obs.tracer` — nested spans and Chrome-trace export
+  (``tracing()`` / ``--trace``).
+* :mod:`repro.obs.metrics` — labeled Counter/Gauge/Histogram registry
+  with Prometheus text + JSON snapshot exposition (``collecting()`` /
+  ``--metrics``), mergeable across worker ranks.
+* :mod:`repro.obs.audit` — per-round cost-model invariant checks
+  (``auditing()`` / ``--audit``), strict or recording.
+* :mod:`repro.obs.regress` — trajectory-file regression verdicts
+  (``repro bench check``).
 
 Usage::
 
-    from repro.obs import tracing, write_chrome_trace
+    from repro.obs import collecting, tracing, write_chrome_trace
 
-    with tracing() as tracer:
+    with tracing() as tracer, collecting() as registry:
         repro.run("connected-components", tree, dist)
     write_chrome_trace("cc.trace.json", tracer)   # chrome://tracing
+    print(registry.snapshot()["counters"]["repro_rounds_total"])
 
-See DESIGN.md ("Observability") for the span taxonomy and attribute
-conventions.
+See DESIGN.md ("Observability") for the span taxonomy, metric names,
+and audit invariants.
 """
 
 from repro.obs.tracer import (
@@ -32,20 +45,53 @@ from repro.obs.tracer import (
 )
 from repro.obs.export import (
     chrome_trace,
-    metrics,
+    span_metrics,
     write_chrome_trace,
+)
+from repro.obs.metrics import (
+    MetricsRegistry,
+    NullRegistry,
+    collecting,
+    get_registry,
+    merge_snapshots,
+    prometheus_text,
+    set_registry,
+    use_registry,
+    write_snapshot,
+)
+from repro.obs.audit import (
+    CostAuditor,
+    NullAuditor,
+    auditing,
+    get_auditor,
+    set_auditor,
+    use_auditor,
 )
 
 __all__ = [
+    "CostAuditor",
+    "MetricsRegistry",
+    "NullAuditor",
+    "NullRegistry",
     "NullTracer",
     "Span",
     "SpanEvent",
     "Tracer",
+    "auditing",
     "chrome_trace",
+    "collecting",
+    "get_auditor",
+    "get_registry",
     "get_tracer",
-    "metrics",
+    "merge_snapshots",
+    "prometheus_text",
+    "set_auditor",
+    "set_registry",
     "set_tracer",
+    "span_metrics",
     "tracing",
+    "use_auditor",
+    "use_registry",
     "use_tracer",
     "write_chrome_trace",
 ]

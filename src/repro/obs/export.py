@@ -1,16 +1,21 @@
-"""Trace exports: Chrome-trace JSON and a flat metrics dict.
+"""Trace exports: Chrome-trace JSON and a flat span-summary dict.
 
 :func:`chrome_trace` turns a :class:`~repro.obs.tracer.Tracer`'s event
 buffer into the Chrome Trace Event Format (the JSON ``chrome://tracing``
 and Perfetto load), one complete ``"X"`` event per finished span plus
-``"M"`` metadata events naming the tracks.  :func:`metrics` reduces the
-same buffer to a flat ``{category: {count, total_s, ...}}`` dict that
-``RunReport``-family ``meta`` payloads can embed.
+``"M"`` metadata events naming the tracks.  :func:`span_metrics`
+reduces the same buffer to a flat ``{category: {count, total_s, ...}}``
+dict that ``RunReport``-family ``meta`` payloads can embed.  (Standing
+labeled counters live in :mod:`repro.obs.metrics`, which owns the
+``metrics`` name; the old ``metrics(tracer)`` spelling remains as an
+alias.)
 """
 
 from __future__ import annotations
 
 import json
+import re
+import sys
 from typing import Any
 
 from repro.report import _jsonify
@@ -19,14 +24,30 @@ from repro.report import _jsonify
 #: worker-rank activity is distinguished by tid (track), not pid.
 TRACE_PID = 0
 
+#: Worker-rank track names as emitted by the parallel backend
+#: (``"rank 0"``, ``"rank 12"``, ...).
+_RANK_TRACK = re.compile(r"rank\s*(\d+)")
+
 
 def _track_order(tracer) -> dict[str, int]:
-    """Stable track → tid mapping: first appearance in the buffer wins,
-    except ``"main"`` which is always tid 0."""
-    tids: dict[str, int] = {"main": 0}
+    """Deterministic track → tid mapping for the trace viewer.
+
+    ``"main"`` is always tid 0; worker-rank tracks follow in *numeric*
+    order (``rank 10`` sorts after ``rank 2``, not lexically between
+    ``rank 1`` and ``rank 2`` — with >10 ranks the viewer otherwise
+    interleaves them); any other track keeps its first appearance in
+    the buffer.
+    """
+    seen: list[str] = []
     for event in tracer.events:
-        if event.track not in tids:
-            tids[event.track] = len(tids)
+        if event.track != "main" and event.track not in seen:
+            seen.append(event.track)
+    ranks = [t for t in seen if _RANK_TRACK.fullmatch(t)]
+    ranks.sort(key=lambda t: int(_RANK_TRACK.fullmatch(t).group(1)))
+    others = [t for t in seen if not _RANK_TRACK.fullmatch(t)]
+    tids: dict[str, int] = {"main": 0}
+    for track in (*ranks, *others):
+        tids[track] = len(tids)
     return tids
 
 
@@ -37,7 +58,9 @@ def chrome_trace(tracer, **extra: Any) -> dict:
     the viewer's timeline starts at zero regardless of the machine's
     ``perf_counter`` epoch.  ``extra`` keyword entries become additional
     top-level keys (the format allows them); the CLI uses this to embed
-    the :func:`metrics` summary alongside ``traceEvents``.
+    the :func:`span_metrics` summary alongside ``traceEvents``.  The
+    tracer's ``dropped`` count is always stamped top-level so a
+    truncated trace is detectable from the file alone.
     """
     events = sorted(tracer.events, key=lambda e: (e.start, e.index))
     t0 = events[0].start if events else 0.0
@@ -69,13 +92,14 @@ def chrome_trace(tracer, **extra: Any) -> dict:
     payload = {
         "traceEvents": trace_events,
         "displayTimeUnit": "ms",
+        "dropped": tracer.dropped,
     }
     for key, value in extra.items():
         payload[key] = _jsonify(value)
     return payload
 
 
-def metrics(tracer) -> dict:
+def span_metrics(tracer) -> dict:
     """Flat per-category summary of a tracer's buffer.
 
     Spans aggregate under their ``category`` attribute (falling back to
@@ -112,9 +136,25 @@ def metrics(tracer) -> dict:
     )
 
 
+#: Backward-compatible spelling from before the registry submodule took
+#: the ``metrics`` name (``from repro.obs.export import metrics``).
+metrics = span_metrics
+
+
 def write_chrome_trace(path, tracer, **extra: Any) -> dict:
-    """Write :func:`chrome_trace` JSON to ``path``; returns the payload."""
+    """Write :func:`chrome_trace` JSON to ``path``; returns the payload.
+
+    Warns on stderr when the tracer's ring buffer overflowed — the file
+    is still written (with the ``dropped`` count stamped top-level),
+    but span statistics computed from it undercount.
+    """
     payload = chrome_trace(tracer, **extra)
+    if tracer.dropped:
+        print(
+            f"warning: trace buffer overflowed, {tracer.dropped} "
+            f"event(s) dropped from {path}",
+            file=sys.stderr,
+        )
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, allow_nan=False)
         handle.write("\n")

@@ -59,6 +59,7 @@ import numpy as np
 
 from repro.data.distribution import Distribution
 from repro.errors import ProtocolError
+from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.tracer import get_tracer
 from repro.parallel import pool as pool_module
 from repro.parallel.pool import WorkerPool, annotate_error, get_pool
@@ -85,11 +86,19 @@ def _round_kernel(payload: dict) -> dict:
     machine-wide with the master on the platforms the pool supports —
     and ships the interval back in the reply so the master can merge a
     rank-qualified span at its true timeline position.
+
+    When the master collects metrics (``payload["metrics"]``), the
+    kernel accumulates its rank-local delivery counts into a private
+    registry and ships the snapshot back in the reply — the same
+    over-the-barrier route the rank spans take — for the master to
+    merge.  Every element is owned by exactly one rank, so the merged
+    per-tag totals equal the simulator's master-side counts.
     """
     trace = payload.get("trace", False)
     t_start = perf_counter() if trace else 0.0
     rank = pool_module.WORKER_RANK
     rank_of = payload["rank_of"]
+    local_registry = MetricsRegistry() if payload.get("metrics") else None
     out = attach_array(payload["out"])
     cursor = 0
     slices: list[list[tuple[int, int, int]]] = []
@@ -99,6 +108,10 @@ def _round_kernel(payload: dict) -> dict:
         mine = np.flatnonzero(rank_of[dst] == rank)
         tag_slices: list[tuple[int, int, int]] = []
         if mine.size:
+            if local_registry is not None:
+                local_registry.counter(
+                    "repro_delivered_elements_total", tag=entry["tag"]
+                ).inc(int(mine.size))
             order, uniques, starts, ends = group_slices(dst[mine])
             out[cursor : cursor + mine.size] = values[mine][order]
             for dst_id, start, end in zip(
@@ -112,6 +125,8 @@ def _round_kernel(payload: dict) -> dict:
     result = {"slices": slices, "elements": cursor}
     if trace:
         result["span"] = (t_start, perf_counter())
+    if local_registry is not None:
+        result["metrics"] = local_registry.snapshot()
     return result
 
 
@@ -154,6 +169,9 @@ class ParallelRoundContext(RoundContext):
             if phases is not None:
                 phases["charge"] += perf_counter() - t0
         cluster.ledger.close_round()
+        registry = get_registry()
+        if registry.enabled:
+            self._record_round_metrics(registry)
         if phases is not None:
             self._annotate_round(tracer, phases)
         if cluster._oracle is not None:
@@ -180,6 +198,7 @@ class ParallelRoundContext(RoundContext):
         shm = cluster.pool.shm
         num_workers = cluster.num_workers
         tracer = get_tracer()
+        registry = get_registry()
         t0 = perf_counter() if phases is not None else 0.0
         routing, by_tag, pair_matrix = self._collect_unicasts()
         node_names = routing.nodes
@@ -221,6 +240,7 @@ class ParallelRoundContext(RoundContext):
                     "tags": tag_entries,
                     "out": segment.spec(np.int64, int(per_rank[rank])),
                     "trace": phases is not None,
+                    "metrics": registry.enabled,
                 }
             )
         if phases is not None:
@@ -235,6 +255,11 @@ class ParallelRoundContext(RoundContext):
         for rank, result in enumerate(results):
             segment, view = out_blocks[rank]
             cluster._retained_segments.append(segment)
+            if "metrics" in result:
+                # fold the rank's delivery deltas into the master
+                # registry; integer counter addition commutes, so the
+                # merge order across ranks is immaterial
+                registry.merge_snapshot(result["metrics"])
             if phases is not None and "span" in result:
                 # merge the rank's kernel interval into the master trace
                 # under a rank-qualified name on its own track

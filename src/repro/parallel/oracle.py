@@ -30,6 +30,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ProtocolError
+from repro.obs.metrics import NullRegistry, use_registry
 from repro.obs.tracer import NullTracer, use_tracer
 from repro.sim.cluster import Cluster
 from repro.topology.tree import TreeTopology, node_sort_key
@@ -60,9 +61,14 @@ class LedgerOracle:
         byte-for-byte the same inputs the workers got.
         """
         # The shadow is a verification artifact, not part of the run:
-        # replay under a no-op tracer so a traced process-backend round
-        # doesn't also emit a duplicate simulator round span.
-        with use_tracer(NullTracer()):
+        # replay under a no-op tracer and registry so a traced or
+        # metered process-backend round doesn't also emit a duplicate
+        # simulator round span or double-count round metrics.  The
+        # *auditor* is deliberately left installed — the replay runs
+        # through the shadow's own ``round()``, so auditing a
+        # process-backend run checks the simulator's finalization of
+        # the very same streams for free.
+        with use_tracer(NullTracer()), use_registry(NullRegistry()):
             with self.shadow.round() as context:
                 context._unicast_stream.extend(unicast_stream)
                 context._multicasts.extend(multicasts)

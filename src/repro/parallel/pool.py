@@ -43,6 +43,7 @@ from typing import Callable, Sequence
 import multiprocessing
 
 from repro.errors import ProtocolError
+from repro.obs.metrics import LATENCY_BUCKETS, get_registry
 from repro.obs.tracer import get_tracer
 from repro.parallel.shmem import SharedArrayPool, detach_all
 
@@ -293,6 +294,8 @@ class WorkerPool:
         jobs = []
         for rank, payload in enumerate(payloads):
             jobs.append((rank, target, payload))
+        registry = get_registry()
+        started = time.perf_counter() if registry.enabled else 0.0
         with get_tracer().span(
             "pool.barrier",
             category="barrier",
@@ -300,6 +303,13 @@ class WorkerPool:
             workers=self.num_workers,
         ):
             outcomes = self._run(jobs, timeout=timeout, label=label)
+        if registry.enabled:
+            registry.counter(
+                "repro_pool_broadcasts_total", workers=str(self.num_workers)
+            ).inc()
+            registry.histogram(
+                "repro_pool_barrier_seconds", buckets=LATENCY_BUCKETS
+            ).observe(time.perf_counter() - started)
         failures = [
             (rank, value)
             for rank, (ok, value) in enumerate(outcomes)

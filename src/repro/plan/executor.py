@@ -28,6 +28,7 @@ import numpy as np
 from repro.data.distribution import Distribution
 from repro.engine import run_with_result
 from repro.errors import PlanError
+from repro.obs.metrics import RATIO_BUCKETS, get_registry
 from repro.obs.tracer import get_tracer
 from repro.plan.optimizer import AGGREGATE_BITS, PhysicalPlan, PhysicalStage
 from repro.plan.relation import PlacedRelation, Schema
@@ -194,6 +195,28 @@ def _execute_groupby(
     return report, PlacedRelation(out_schema, fragments)
 
 
+def _record_stage_metrics(stage: PhysicalStage, report: RunReport) -> None:
+    """Record a finished stage's estimate accuracy on the registry.
+
+    The actual/estimated cost ratio (1.0 = the optimizer was exact)
+    lands in a fixed-bucket histogram, so a drifting cost model shows
+    up as mass migrating out of the 0.75–1.5 buckets over a service's
+    lifetime — the planner counterpart of the round-level audit.
+    """
+    registry = get_registry()
+    if not registry.enabled:
+        return
+    registry.counter("repro_plan_stages_total", kind=stage.kind).inc()
+    if stage.est_cost > 0 and report.cost > 0:
+        ratio = report.cost / stage.est_cost
+        registry.histogram(
+            "repro_stage_cost_ratio", buckets=RATIO_BUCKETS, kind=stage.kind
+        ).observe(ratio)
+        registry.gauge(
+            "repro_stage_last_cost_ratio", kind=stage.kind
+        ).set(ratio)
+
+
 def execute_plan(
     physical: PhysicalPlan,
     tree: TreeTopology,
@@ -265,6 +288,7 @@ def execute_plan(
                             stage, index, tree, "equijoin"
                         )
                     span.set(cost=report.cost, rounds=report.rounds)
+                _record_stage_metrics(stage, report)
                 stage_reports.append(report)
                 results.append(produced)
                 continue
@@ -290,6 +314,7 @@ def execute_plan(
                             stage, index, tree, "groupby-aggregate"
                         )
                     span.set(cost=report.cost, rounds=report.rounds)
+                _record_stage_metrics(stage, report)
                 stage_reports.append(report)
                 results.append(produced)
                 continue

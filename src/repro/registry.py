@@ -111,6 +111,14 @@ class TaskSpec:
         (e.g. ``payload_bits`` for keyed tasks).  The engine forwards
         these from the caller's ``**opts`` so the bound is evaluated on
         the same instance parameters the protocol ran with.
+    bound_holds_per_instance:
+        True when the registered bound is valid for *every* input
+        instance (the graph bounds count concrete data that must
+        move), so a run reporting less cost is an accounting bug the
+        auditor must flag.  False (default) for the paper's worst-case
+        communication bounds (Theorems 1–3), which instance-adaptive
+        protocols legitimately beat on easy inputs — beating those is
+        recorded as a metric, never as a violation.
     aliases:
         Alternative spellings accepted by :func:`get_task`
         (``"intersection"`` for ``"set-intersection"``, ...).
@@ -121,6 +129,7 @@ class TaskSpec:
     verifier: Callable | None = None
     lower_bound: Callable | None = None
     lower_bound_opts: tuple = field(default_factory=tuple)
+    bound_holds_per_instance: bool = False
     aliases: tuple = field(default_factory=tuple)
 
 
@@ -195,6 +204,7 @@ def register_task(
     verifier: Callable | None = None,
     lower_bound: Callable | None = None,
     lower_bound_opts: tuple = (),
+    bound_holds_per_instance: bool = False,
     aliases: tuple = (),
 ) -> TaskSpec:
     """Register a task (idempotent: re-registration overwrites)."""
@@ -204,6 +214,7 @@ def register_task(
         verifier=verifier,
         lower_bound=lower_bound,
         lower_bound_opts=tuple(lower_bound_opts),
+        bound_holds_per_instance=bound_holds_per_instance,
         aliases=tuple(aliases),
     )
     _TASK_SPECS[name] = spec

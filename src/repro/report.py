@@ -381,6 +381,10 @@ def aggregate(reports: Iterable[RunReport]) -> dict:
     ``None``, never ``float("inf")`` — the summary feeds JSON exports
     which must stay strict-RFC 8259 (``json.dumps`` would otherwise
     emit a bare ``Infinity`` token).
+
+    ``wall_s`` sums the measured execution seconds across the task's
+    runs; it is ``None`` when no run carried a wall time (reports
+    rebuilt from pre-obs JSON payloads).
     """
     by_task: dict[str, list[RunReport]] = {}
     for report in reports:
@@ -388,10 +392,14 @@ def aggregate(reports: Iterable[RunReport]) -> dict:
     summary: dict = {}
     for task, rows in sorted(by_task.items()):
         finite = [r.ratio for r in rows if math.isfinite(r.ratio)]
+        walls = [
+            r.wall_time_s for r in rows if r.wall_time_s is not None
+        ]
         summary[task] = {
             "runs": len(rows),
             "max_rounds": max(r.rounds for r in rows),
             "max_ratio": max(finite) if finite else None,
             "mean_ratio": sum(finite) / len(finite) if finite else None,
+            "wall_s": sum(walls) if walls else None,
         }
     return summary

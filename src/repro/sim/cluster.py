@@ -39,6 +39,8 @@ import numpy as np
 
 from repro.data.distribution import Distribution
 from repro.errors import ProtocolError
+from repro.obs.audit import get_auditor
+from repro.obs.metrics import get_registry
 from repro.obs.tracer import get_tracer
 from repro.sim.ledger import CostLedger
 from repro.topology.steiner import PathOracle
@@ -507,6 +509,7 @@ class RoundContext:
         cluster = self._cluster
         storage = cluster._storage
         tracer = get_tracer()
+        registry = get_registry()
         phases = (
             {"group": 0.0, "deliver": 0.0, "charge": 0.0}
             if tracer.enabled
@@ -537,6 +540,13 @@ class RoundContext:
                 phases["group"] += t1 - t0
             # deliver: install the grouped slices into node storage
             for tag, sorted_payload, uniques, starts, ends in grouped:
+                if registry.enabled:
+                    # The process backend records this same total from
+                    # its worker ranks; keeping the label set identical
+                    # is what makes sim and process snapshots match.
+                    registry.counter(
+                        "repro_delivered_elements_total", tag=tag
+                    ).inc(len(sorted_payload))
                 for dst_id, start, end in zip(
                     uniques.tolist(), starts.tolist(), ends.tolist()
                 ):
@@ -558,6 +568,8 @@ class RoundContext:
             if phases is not None:
                 phases["charge"] += perf_counter() - t3
         cluster.ledger.close_round()
+        if registry.enabled:
+            self._record_round_metrics(registry)
         if phases is not None:
             self._annotate_round(tracer, phases)
 
@@ -642,6 +654,7 @@ class RoundContext:
         index_of = routing.index_of
         storage = cluster._storage
         received = cluster._received_elements
+        registry = get_registry()
         # tag -> parallel (global group ids, payload) parts and the
         # (base, src, sets) record table that resolves a global id back
         # to its source and destination set
@@ -678,6 +691,7 @@ class RoundContext:
                 phases["group"] += t2 - t1
             records = records_by_tag[tag]
             position = 0
+            delivered = 0
             for gid, start, end in zip(
                 uniques.tolist(), starts.tolist(), ends.tolist()
             ):
@@ -699,12 +713,17 @@ class RoundContext:
                 batch_src.append(index_of[src])
                 batch_sets.append(ids)
                 batch_counts.append(count)
+                delivered += count * len(dsts)
                 for dst in dsts:
                     storage.setdefault(dst, {}).setdefault(tag, []).append(
                         chunk
                     )
                     if dst != src:
                         received[dst] = received.get(dst, 0) + count
+            if registry.enabled:
+                registry.counter(
+                    "repro_delivered_elements_total", tag=tag
+                ).inc(delivered)
             if phases is not None:
                 phases["deliver"] += perf_counter() - t2
         t3 = perf_counter() if phases is not None else 0.0
@@ -737,11 +756,7 @@ class RoundContext:
         ledger = self._cluster.ledger
         index = ledger.num_rounds - 1
         round_loads = ledger.round_loads(index)
-        elements: dict[str, int] = {}
-        for _src, _nodes, _targets, payload, tag in self._unicast_stream:
-            elements[tag] = elements.get(tag, 0) + len(payload)
-        for _src, _sets, _gids, payload, tag in self._multicasts:
-            elements[tag] = elements.get(tag, 0) + len(payload)
+        elements = self._elements_by_tag()
         bits = ledger.bits_per_element
         attrs = {
             "round": index,
@@ -757,6 +772,41 @@ class RoundContext:
             attrs["t_deliver_s"] = phases["deliver"]
             attrs["t_charge_s"] = phases["charge"]
         tracer.annotate(**attrs)
+
+    def _elements_by_tag(self) -> dict[str, int]:
+        """Registered (pre-replication) element counts per tag."""
+        elements: dict[str, int] = {}
+        for _src, _nodes, _targets, payload, tag in self._unicast_stream:
+            elements[tag] = elements.get(tag, 0) + len(payload)
+        for _src, _sets, _gids, payload, tag in self._multicasts:
+            elements[tag] = elements.get(tag, 0) + len(payload)
+        return elements
+
+    def _record_round_metrics(self, registry) -> None:
+        """Record the closed round on the installed metrics registry.
+
+        Deliberately carries *no* backend label: every count here is
+        derived from the registered streams and the ledger, which both
+        substrates produce byte-identically, so a sim-run snapshot and
+        a process-run snapshot of the same protocol are equal — the
+        property the cross-process merge tests assert.
+        """
+        ledger = self._cluster.ledger
+        index = ledger.num_rounds - 1
+        registry.counter("repro_rounds_total").inc()
+        round_loads = ledger.round_loads(index)
+        registry.histogram("repro_round_cost").observe(
+            ledger.round_cost(index)
+        )
+        registry.histogram("repro_max_edge_load").observe(
+            max(round_loads.values(), default=0)
+        )
+        bits = ledger.bits_per_element
+        for tag, count in self._elements_by_tag().items():
+            registry.counter("repro_round_elements_total", tag=tag).inc(count)
+            registry.counter("repro_round_bytes_total", tag=tag).inc(
+                count * bits // 8
+            )
 
     def _finalize_per_transfer(self) -> None:
         """The legacy finalizer: walk transfers one at a time.
@@ -777,9 +827,12 @@ class RoundContext:
             (src, sets[0], tag, payload)
             for src, sets, _group_ids, payload, tag in self._multicasts
         ]
+        registry = get_registry()
+        delivered: dict[str, int] = {}
         for src, dsts, tag, payload in transfers:
             for edge in cluster.oracle.steiner_edges(src, dsts):
                 cluster.ledger.add_load(edge, len(payload))
+            delivered[tag] = delivered.get(tag, 0) + len(payload) * len(dsts)
             for dst in dsts:
                 arrivals.setdefault(dst, {}).setdefault(tag, []).append(payload)
                 if dst != src:
@@ -792,6 +845,12 @@ class RoundContext:
                     payloads
                 )
         cluster.ledger.close_round()
+        if registry.enabled:
+            for tag, count in delivered.items():
+                registry.counter(
+                    "repro_delivered_elements_total", tag=tag
+                ).inc(count)
+            self._record_round_metrics(registry)
         tracer = get_tracer()
         if tracer.enabled:
             self._annotate_round(tracer)
@@ -931,6 +990,8 @@ class Cluster:
             raise ProtocolError("a round is already in progress")
         self._round_open = True
         context = self._make_round_context()
+        auditor = get_auditor()
+        before = auditor.before_round(self) if auditor.enabled else None
         # one span per round, covering both the protocol's local work
         # and finalization; finalize still runs only on clean exit
         with get_tracer().span(
@@ -943,6 +1004,8 @@ class Cluster:
             finally:
                 self._round_open = False
             context._finalize()
+            if auditor.enabled:
+                auditor.check_round(self, context, before)
 
     @property
     def rounds_executed(self) -> int:

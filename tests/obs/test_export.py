@@ -158,3 +158,87 @@ class TestMetrics:
             bucket["count"] for bucket in summary["spans"].values()
         )
         assert total == summary["num_events"] == len(spans)
+
+
+class TestTrackOrder:
+    def test_rank_tracks_sort_numerically_not_lexically(self):
+        tracer = Tracer()
+        # arrival order is scrambled and lexical order would interleave
+        # rank 10 between rank 1 and rank 2
+        for rank in (10, 2, 0, 1, 11):
+            tracer.add_event(
+                f"rank{rank}/round 0", 0.0, 1.0, track=f"rank {rank}"
+            )
+        payload = chrome_trace(tracer)
+        names = {
+            event["args"]["name"]: event["tid"]
+            for event in payload["traceEvents"]
+            if event["ph"] == "M"
+        }
+        assert names["main"] == 0
+        ranks = sorted(
+            (tid, track)
+            for track, tid in names.items()
+            if track.startswith("rank")
+        )
+        assert [track for _, track in ranks] == [
+            "rank 0", "rank 1", "rank 2", "rank 10", "rank 11",
+        ]
+
+    def test_non_rank_tracks_keep_first_appearance_after_ranks(self):
+        tracer = Tracer()
+        tracer.add_event("z", 0.0, 1.0, track="zeta")
+        tracer.add_event("r", 0.0, 1.0, track="rank 1")
+        tracer.add_event("a", 0.0, 1.0, track="alpha")
+        payload = chrome_trace(tracer)
+        names = {
+            event["args"]["name"]: event["tid"]
+            for event in payload["traceEvents"]
+            if event["ph"] == "M"
+        }
+        assert names["main"] == 0
+        assert names["rank 1"] == 1
+        assert names["zeta"] == 2  # first appearance among non-ranks
+        assert names["alpha"] == 3
+
+    def test_every_event_tid_matches_its_track_metadata(self):
+        tracer = Tracer()
+        for rank in (3, 1, 2):
+            tracer.add_event(
+                f"rank{rank}/round 0", 0.0, 1.0, track=f"rank {rank}"
+            )
+        payload = chrome_trace(tracer)
+        names = {
+            event["args"]["name"]: event["tid"]
+            for event in payload["traceEvents"]
+            if event["ph"] == "M"
+        }
+        for event in payload["traceEvents"]:
+            if event["ph"] == "X":
+                rank = event["name"].split("/")[0].removeprefix("rank")
+                assert event["tid"] == names[f"rank {rank}"]
+
+
+class TestDroppedEvents:
+    def _overflowed_tracer(self) -> Tracer:
+        tracer = Tracer(max_events=2)
+        for index in range(5):
+            tracer.add_event(f"event {index}", 0.0, 1.0)
+        assert tracer.dropped == 3
+        return tracer
+
+    def test_dropped_count_is_stamped_top_level(self):
+        payload = chrome_trace(self._overflowed_tracer())
+        assert payload["dropped"] == 3
+        assert chrome_trace(_sample_tracer())["dropped"] == 0
+
+    def test_write_warns_on_stderr_when_truncated(self, tmp_path, capsys):
+        path = tmp_path / "t.json"
+        payload = write_chrome_trace(path, self._overflowed_tracer())
+        err = capsys.readouterr().err
+        assert "3 event(s) dropped" in err
+        assert json.loads(path.read_text())["dropped"] == payload["dropped"]
+
+    def test_write_is_silent_when_nothing_dropped(self, tmp_path, capsys):
+        write_chrome_trace(tmp_path / "t.json", _sample_tracer())
+        assert capsys.readouterr().err == ""

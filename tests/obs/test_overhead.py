@@ -1,16 +1,18 @@
-"""The tracing-off overhead guard.
+"""The observability-off overhead guard.
 
-The contract from the design: with no recording tracer installed, the
-instrumentation costs one thread-local attribute lookup plus a no-op
-span per *round* (never per element).  This test prices the full
-disabled hook sequence a round touches and asserts it stays far under
-5% of the small-grid bench_speed round time — the budget the CI smoke
-enforces end-to-end.
+The contract from the design: with no recording tracer, metrics
+registry, or auditor installed, the instrumentation costs a few
+thread-local attribute lookups plus a no-op span per *round* (never
+per element).  This test prices the full disabled hook sequence a
+round touches and asserts it stays far under 5% of the small-grid
+bench_speed round time — the budget the CI smoke enforces end-to-end.
 """
 
 from time import perf_counter
 
 from repro.analysis.speed import _run_round, fat_tree, prepare_uniform_hash
+from repro.obs.audit import NullAuditor, get_auditor
+from repro.obs.metrics import NullRegistry, get_registry
 from repro.obs.tracer import NullTracer, get_tracer
 
 
@@ -18,12 +20,22 @@ def _disabled_hook_seconds(repeats: int = 20_000) -> float:
     """Per-iteration cost of every hook a disabled round executes."""
     tracer = get_tracer()
     assert isinstance(tracer, NullTracer)
+    assert isinstance(get_registry(), NullRegistry)
+    assert isinstance(get_auditor(), NullAuditor)
     start = perf_counter()
     for index in range(repeats):
         with tracer.span(f"round {index}", category="round", backend="sim"):
             if tracer.enabled:  # the gate phase timers hide behind
                 raise AssertionError("tracer should be disabled")
             tracer.annotate(cost=1.0)
+        # the metrics and audit gates Cluster.round executes per round
+        registry = get_registry()
+        if registry.enabled:
+            raise AssertionError("registry should be disabled")
+        auditor = get_auditor()
+        if auditor.enabled:
+            raise AssertionError("auditor should be disabled")
+        auditor.before_round(None)
     return (perf_counter() - start) / repeats
 
 
