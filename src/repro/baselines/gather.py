@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.cartesian.routing import gather_all_pairs
+from repro.data.columns import KeyValueArrays
 from repro.data.distribution import Distribution
 from repro.queries.aggregate import combine_per_key
 from repro.queries.join import local_join
@@ -238,10 +239,8 @@ def gather_groupby(
     )
     keys, values = decode_tuples(gathered, payload_bits=payload_bits)
     final_keys, final_values = combine_per_key(keys, values, op)
-    outputs = {v: {} for v in tree.compute_nodes}
-    outputs[target] = {
-        int(k): int(val) for k, val in zip(final_keys, final_values)
-    }
+    outputs = {v: KeyValueArrays.empty() for v in tree.compute_nodes}
+    outputs[target] = KeyValueArrays(final_keys, final_values)
     return ProtocolResult.from_ledger(
         "gather-groupby",
         cluster.ledger,

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.data.columns import KeyValueArrays
 from repro.data.distribution import Distribution
 from repro.queries.aggregate import combine_per_key
 from repro.queries.join import local_join
@@ -185,9 +186,7 @@ def uniform_hash_groupby(
         final_keys, final_values = combine_per_key(
             keys, values, final_op if pre_aggregate else op
         )
-        outputs[v] = {
-            int(k): int(val) for k, val in zip(final_keys, final_values)
-        }
+        outputs[v] = KeyValueArrays(final_keys, final_values)
     return ProtocolResult.from_ledger(
         "uniform-hash-groupby",
         cluster.ledger,

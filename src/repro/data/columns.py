@@ -1,0 +1,150 @@
+"""Array-valued protocol outputs: parallel key/value columns per node.
+
+Group-by style protocols historically reported ``outputs[node]`` as a
+``{int: int}`` dict — built by boxing every aggregated key and value
+into Python ints, and unboxed right back into arrays by every consumer
+(the plan executor re-collects fragments, hash-to-min re-scatters its
+labels every superstep).  :class:`KeyValueArrays` is the columnar
+replacement: the sorted unique keys and their values stay the int64
+arrays the kernels produced, zero-copy end to end, while the class
+remains a :class:`collections.abc.Mapping` — ``len``, ``in``,
+``[key]``, ``.items()``, and ``== {…}`` all behave exactly like the
+dict they replace, so existing verifiers and tests keep working
+unchanged (the compatibility view the data-plane contract promises).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from repro.errors import ProtocolError
+
+
+def _as_column(values, what: str) -> np.ndarray:
+    array = np.asarray(values, dtype=np.int64)
+    if array.ndim != 1:
+        raise ProtocolError(f"{what} must be a one-dimensional array")
+    view = array.view()
+    view.setflags(write=False)
+    return view
+
+
+class KeyValueArrays(Mapping):
+    """A sorted ``{key: value}`` mapping backed by parallel int64 arrays.
+
+    ``keys`` must be strictly increasing (sorted, unique) — the shape
+    every aggregation kernel in the package already emits
+    (:func:`~repro.queries.aggregate.combine_per_key` returns sorted
+    unique keys) — so membership and lookup are ``searchsorted``, and
+    consumers that want columns read :attr:`keys_array` /
+    :attr:`values_array` without any conversion.
+    """
+
+    __slots__ = ("_keys", "_values")
+
+    def __init__(self, keys, values) -> None:
+        self._keys = _as_column(keys, "keys")
+        self._values = _as_column(values, "values")
+        if len(self._keys) != len(self._values):
+            raise ProtocolError(
+                f"{len(self._keys)} keys but {len(self._values)} values"
+            )
+        if len(self._keys) > 1 and not np.all(np.diff(self._keys) > 0):
+            raise ProtocolError(
+                "keys must be strictly increasing (sorted and unique)"
+            )
+
+    @classmethod
+    def empty(cls) -> "KeyValueArrays":
+        return cls(np.empty(0, np.int64), np.empty(0, np.int64))
+
+    @classmethod
+    def from_dict(cls, mapping: Mapping) -> "KeyValueArrays":
+        """Build from any ``{int: int}`` mapping (sorts by key)."""
+        keys = np.fromiter(mapping.keys(), np.int64, len(mapping))
+        values = np.fromiter(mapping.values(), np.int64, len(mapping))
+        order = np.argsort(keys, kind="stable")
+        return cls(keys[order], values[order])
+
+    # ------------------------------------------------------------------ #
+    # columnar surface (the zero-copy path)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def keys_array(self) -> np.ndarray:
+        """The sorted unique keys as a read-only int64 column."""
+        return self._keys
+
+    @property
+    def values_array(self) -> np.ndarray:
+        """Values parallel to :attr:`keys_array` (read-only)."""
+        return self._values
+
+    # ------------------------------------------------------------------ #
+    # Mapping surface (the dict-compatibility view)
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._keys.tolist())
+
+    def _position(self, key) -> int:
+        index = int(np.searchsorted(self._keys, key))
+        if index < len(self._keys) and self._keys[index] == key:
+            return index
+        return -1
+
+    def __contains__(self, key) -> bool:
+        try:
+            return self._position(key) >= 0
+        except (TypeError, ValueError):
+            return False
+
+    def __getitem__(self, key) -> int:
+        index = self._position(key)
+        if index < 0:
+            raise KeyError(key)
+        return int(self._values[index])
+
+    def items(self):
+        return list(zip(self._keys.tolist(), self._values.tolist()))
+
+    def values(self):
+        return self._values.tolist()
+
+    def to_dict(self) -> dict:
+        """An actual ``{int: int}`` dict (for callers that must have one)."""
+        return dict(self.items())
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, KeyValueArrays):
+            return np.array_equal(
+                self._keys, other._keys
+            ) and np.array_equal(self._values, other._values)
+        if isinstance(other, Mapping):
+            if len(other) != len(self._keys):
+                return False
+            return all(
+                key in other and other[key] == value
+                for key, value in self.items()
+            )
+        return NotImplemented
+
+    def __ne__(self, other) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    __hash__ = None  # mapping peers compare by content, never hash
+
+    def __repr__(self) -> str:
+        preview = ", ".join(
+            f"{k}: {v}" for k, v in list(self.items())[:4]
+        )
+        suffix = ", ..." if len(self) > 4 else ""
+        return f"KeyValueArrays({{{preview}{suffix}}}, n={len(self)})"

@@ -19,13 +19,19 @@ from repro.errors import DistributionError
 from repro.topology.tree import NodeId, TreeTopology, node_sort_key
 
 
+_EMPTY = np.empty(0, np.int64)
+_EMPTY.setflags(write=False)
+
+
 def _as_fragment(values) -> np.ndarray:
     array = np.asarray(values, dtype=np.int64)
     if array.ndim != 1:
         raise DistributionError(
             f"relation fragments must be one-dimensional, got shape {array.shape}"
         )
-    return array
+    view = array.view()
+    view.setflags(write=False)
+    return view
 
 
 class Distribution:
@@ -38,9 +44,11 @@ class Distribution:
         arrays (anything ``np.asarray`` accepts).  Nodes with no data may
         be omitted or mapped to empty dicts.
 
-    The container is immutable: accessors return copies or read-only
-    views, and derivation methods (:meth:`remap`, :meth:`restrict`)
-    return new instances.
+    The container is immutable: fragments are stored and served as
+    read-only views (never copied — the zero-copy handoff between plan
+    stages and cluster seeding rides on this), and derivation methods
+    (:meth:`remap`, :meth:`restrict`) return new instances sharing the
+    same underlying arrays.
     """
 
     def __init__(
@@ -72,18 +80,17 @@ class Distribution:
         return frozenset(self._fragments)
 
     def fragment(self, node: NodeId, tag: str) -> np.ndarray:
-        """The fragment of relation ``tag`` initially on ``node`` (copy).
+        """The fragment of relation ``tag`` initially on ``node``.
+
+        Returned as a **read-only zero-copy view** of the stored column;
+        callers that need to mutate must ``.copy()`` explicitly.
 
         Tags are stored under their string form (``__init__`` and the
         cluster both normalize with ``str``), so lookups normalize too —
         a non-string tag must find the data it was stored under, not
         silently read as empty.
         """
-        return (
-            self._fragments.get(node, {})
-            .get(str(tag), np.empty(0, np.int64))
-            .copy()
-        )
+        return self._fragments.get(node, {}).get(str(tag), _EMPTY)
 
     def size(self, node: NodeId, tag: str | None = None) -> int:
         """``|R_v|`` for one relation, or ``N_v`` summed over relations."""
@@ -154,9 +161,7 @@ class Distribution:
             raise DistributionError("node_map merges two placements")
         return Distribution(
             {
-                node_map.get(node, node): {
-                    tag: fragment.copy() for tag, fragment in relations.items()
-                }
+                node_map.get(node, node): dict(relations)
                 for node, relations in self._fragments.items()
             }
         )
@@ -167,7 +172,7 @@ class Distribution:
         return Distribution(
             {
                 node: {
-                    tag: fragment.copy()
+                    tag: fragment
                     for tag, fragment in relations.items()
                     if tag in keep
                 }
@@ -178,10 +183,12 @@ class Distribution:
     def with_fragment(
         self, node: NodeId, tag: str, values: Iterable[int]
     ) -> "Distribution":
-        """Return a copy with one fragment replaced."""
-        updated = {
-            n: {t: f.copy() for t, f in relations.items()}
-            for n, relations in self._fragments.items()
+        """Return a new instance with one fragment replaced.
+
+        Unchanged fragments are shared (read-only), not copied.
+        """
+        updated: dict = {
+            n: dict(relations) for n, relations in self._fragments.items()
         }
         updated.setdefault(node, {})[str(tag)] = _as_fragment(values)
         return Distribution(updated)

@@ -34,6 +34,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.common import LowerBound
+from repro.data.columns import KeyValueArrays
 from repro.data.distribution import Distribution
 from repro.errors import ProtocolError
 from repro.graphs.iterate import SuperstepDriver
@@ -234,7 +235,7 @@ def _hash_to_min(
         "num_edges": distribution.total(tag),
     }
     if not views:
-        outputs: dict = {v: {} for v in computes}
+        outputs: dict = {v: KeyValueArrays.empty() for v in computes}
         return driver, outputs, dict(
             base_meta, num_vertices=0, num_supersteps=0, converged=True
         )
@@ -286,17 +287,24 @@ def _hash_to_min(
             bits_per_element=bits_per_element,
         )
         owner_outputs = result.outputs
-        # Vectorize each owner's output dict once: vertex and label
+        # Read each owner's output columns directly: vertex and label
         # arrays, their positions in the global vertex order, and which
-        # labels actually changed this superstep.
+        # labels actually changed this superstep.  Group-by protocols
+        # emit :class:`KeyValueArrays`, so the columns are zero-copy;
+        # plain dicts (third-party shuffles) fall back to fromiter.
         per_owner = []
         num_changed = 0
         for node in sorted(owner_outputs, key=node_sort_key):
             groups = owner_outputs[node]
             if not groups:
                 continue
-            verts = np.fromiter(groups.keys(), np.int64, len(groups))
-            labels = np.fromiter(groups.values(), np.int64, len(groups))
+            keys_column = getattr(groups, "keys_array", None)
+            if keys_column is not None:
+                verts = keys_column
+                labels = groups.values_array
+            else:
+                verts = np.fromiter(groups.keys(), np.int64, len(groups))
+                labels = np.fromiter(groups.values(), np.int64, len(groups))
             positions = np.searchsorted(vert_arr, verts)
             changed_mask = labels != prev_labels[positions]
             num_changed += int(changed_mask.sum())
@@ -369,11 +377,15 @@ def _hash_to_min(
             f"hash-to-min did not converge within {max_supersteps} supersteps"
         )
     outputs = {
-        node: {int(v): int(l) for v, l in groups.items()}
+        node: (
+            groups
+            if isinstance(groups, KeyValueArrays)
+            else KeyValueArrays.from_dict(groups)
+        )
         for node, groups in owner_outputs.items()
     }
     for node in computes:
-        outputs.setdefault(node, {})
+        outputs.setdefault(node, KeyValueArrays.empty())
     meta = dict(
         base_meta,
         num_vertices=len(all_vertices),
@@ -514,8 +526,8 @@ def gather_connected_components(
     labelling = (
         reference_components(np.stack([src, dst], axis=1)) if len(src) else {}
     )
-    outputs: dict = {v: {} for v in computes}
-    outputs[target] = {int(v): int(l) for v, l in labelling.items()}
+    outputs: dict = {v: KeyValueArrays.empty() for v in computes}
+    outputs[target] = KeyValueArrays.from_dict(labelling)
     meta = {
         "tag": tag,
         "target": target,

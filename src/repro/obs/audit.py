@@ -91,11 +91,12 @@ class CostAuditor:
     # ------------------------------------------------------------------ #
 
     def before_round(self, cluster) -> dict:
-        """Snapshot per-(node, tag) storage sizes before the round runs."""
-        return {
-            node: {tag: cluster.local_size(node, tag) for tag in tagged}
-            for node, tagged in cluster._storage.items()
-        }
+        """Snapshot per-(node, tag) storage sizes before the round runs.
+
+        Column lengths are maintained incrementally by the store, so
+        this is a dict walk — no chunk traversal, no compaction.
+        """
+        return cluster._storage.sizes()
 
     def check_round(self, cluster, context, before: dict) -> None:
         """Audit one finalized round against its raw transfer streams."""

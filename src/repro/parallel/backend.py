@@ -39,10 +39,11 @@ storage bytes, received counts, and per-edge ledger loads are
 ``oracle=True``.
 
 The multicast stream (Steiner replication) is finalized master-side
-through the inherited :meth:`_deliver_multicasts`: its per-(group,
-member) appends are the columnar-data-plane item on the ROADMAP, and
-parallelizing them before that refactor would parallelize a known
-Python-loop bottleneck instead of removing it.
+through the inherited :meth:`_deliver_multicasts`: delivery there is
+zero-copy slice sharing into the columnar store (no per-element work
+to parallelize), and running it master-side keeps the chunk structure
+— and therefore the compaction counts — identical to the simulator's
+by construction.
 
 Failure surface: a worker crash or a round-deadline overrun raises
 :class:`~repro.errors.ProtocolError` annotated with the guilty rank
@@ -59,14 +60,19 @@ import numpy as np
 
 from repro.data.distribution import Distribution
 from repro.errors import ProtocolError
-from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.metrics import (
+    MetricsRegistry,
+    NullRegistry,
+    get_registry,
+    use_registry,
+)
 from repro.obs.tracer import get_tracer
 from repro.parallel import pool as pool_module
 from repro.parallel.pool import WorkerPool, annotate_error, get_pool
 from repro.parallel.shmem import SharedArrayPool, attach_array
 from repro.sim.cluster import Cluster, RoundContext, register_backend
 from repro.topology.tree import TreeTopology
-from repro.util.grouping import group_slices
+from repro.util.grouping import cached_group_slices
 
 #: Dispatch target of the per-rank round kernel.
 ROUND_KERNEL = "repro.parallel.backend:_round_kernel"
@@ -112,7 +118,7 @@ def _round_kernel(payload: dict) -> dict:
                 local_registry.counter(
                     "repro_delivered_elements_total", tag=entry["tag"]
                 ).inc(int(mine.size))
-            order, uniques, starts, ends = group_slices(dst[mine])
+            order, uniques, starts, ends = cached_group_slices(dst[mine])
             out[cursor : cursor + mine.size] = values[mine][order]
             for dst_id, start, end in zip(
                 uniques.tolist(), starts.tolist(), ends.tolist()
@@ -279,9 +285,12 @@ class ParallelRoundContext(RoundContext):
             for entry, tag_slices in zip(tag_entries, result["slices"]):
                 tag = entry["tag"]
                 for dst_id, start, end in tag_slices:
-                    storage.setdefault(node_names[dst_id], {}).setdefault(
-                        tag, []
-                    ).append(view[start:end])
+                    # a read-only view into the retained shared block:
+                    # delivery stays zero-copy and the stored fragment
+                    # cannot be rewritten through the shm mapping
+                    chunk = view[start:end]
+                    chunk.setflags(write=False)
+                    storage.append(node_names[dst_id], tag, chunk)
         for segment in round_segments:
             shm.release(segment)
         if phases is not None:
@@ -398,12 +407,17 @@ class ParallelCluster(Cluster):
     def put(self, node, tag: str, values) -> None:
         super().put(node, tag, values)
         if self._oracle is not None:
-            self._oracle.shadow.put(node, tag, values)
+            with use_registry(NullRegistry()):
+                self._oracle.shadow.put(node, tag, values)
 
     def take(self, node, tag: str) -> np.ndarray:
         values = super().take(node, tag)
         if self._oracle is not None:
-            self._oracle.shadow.take(node, tag)
+            # the shadow's read may compact its column; mute the
+            # registry so the mirror doesn't double-count storage
+            # metrics the real cluster already recorded
+            with use_registry(NullRegistry()):
+                self._oracle.shadow.take(node, tag)
         return values
 
     # ------------------------------------------------------------------ #

@@ -120,9 +120,24 @@ def assert_clusters_identical(
 
     Checks, in order: round count, per-round per-edge loads, total
     cost, per-node received counts, per-node tag sets, and per-node
-    per-tag storage bytes (``local()`` concatenation).  Raises
+    per-tag storage bytes (``local()`` views).  Raises
     :class:`OracleMismatch` naming the first divergence.
+
+    Runs under a muted metrics registry: reading every column may
+    lazily compact it, and a verification pass must not perturb the
+    backend-agnostic storage counters it is there to safeguard.
     """
+    with use_registry(NullRegistry()):
+        _assert_clusters_identical(a, b, a_name=a_name, b_name=b_name)
+
+
+def _assert_clusters_identical(
+    a: Cluster,
+    b: Cluster,
+    *,
+    a_name: str,
+    b_name: str,
+) -> None:
     if a.ledger.num_rounds != b.ledger.num_rounds:
         raise OracleMismatch(
             f"{a_name} ran {a.ledger.num_rounds} rounds, "

@@ -188,6 +188,12 @@ def _execute_groupby(
     for node, groups in result.outputs.items():
         if not groups:
             continue
+        keys = getattr(groups, "keys_array", None)
+        if keys is not None:
+            # Array output contract: columns arrive sorted by key, so
+            # the stage output is a single stack — no boxing, no sort.
+            fragments[node] = np.stack([keys, groups.values_array], axis=1)
+            continue
         keys = np.fromiter(groups.keys(), np.int64, len(groups))
         values = np.fromiter(groups.values(), np.int64, len(groups))
         order = np.argsort(keys, kind="stable")

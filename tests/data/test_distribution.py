@@ -25,11 +25,18 @@ class TestAccessors:
     def test_nodes_include_empty(self):
         assert sample_distribution().nodes == frozenset({"v1", "v2", "v3"})
 
-    def test_fragment_returns_copy(self):
+    def test_fragment_is_readonly_view(self):
         dist = sample_distribution()
         fragment = dist.fragment("v1", "R")
-        fragment[0] = 99
+        with pytest.raises(ValueError):
+            fragment[0] = 99
         assert dist.fragment("v1", "R")[0] == 1
+
+    def test_fragment_shares_storage_zero_copy(self):
+        dist = sample_distribution()
+        first = dist.fragment("v1", "R")
+        second = dist.fragment("v1", "R")
+        assert np.shares_memory(first, second)
 
     def test_fragment_of_absent_tag_is_empty(self):
         assert len(sample_distribution().fragment("v2", "S")) == 0

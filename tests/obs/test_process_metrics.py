@@ -25,12 +25,15 @@ from repro.parallel.pool import get_pool, shutdown_pools
 from repro.sim.cluster import Cluster
 
 #: Counter families recorded identically by both backends (no backend
-#: label by design — see Cluster._record_round_metrics).
+#: label by design — see Cluster._record_round_metrics; compactions are
+#: backend-agnostic because both substrates deliver exactly one chunk
+#: per (dst, tag) per round and protocols issue identical reads).
 ROUND_FAMILIES = (
     "repro_rounds_total",
     "repro_round_elements_total",
     "repro_round_bytes_total",
     "repro_delivered_elements_total",
+    "repro_storage_compactions_total",
 )
 
 #: Histogram families over per-round ledger facts, likewise identical.
@@ -62,12 +65,18 @@ def _round_view(snapshot: dict) -> dict:
     }
 
 
-def _exchange_snapshot(tree, prepared, make_cluster) -> dict:
+def _exchange_snapshot(tree, prepared, make_cluster, *, rounds=1) -> dict:
     with collecting() as registry:
         cluster = make_cluster()
-        with cluster.round() as ctx:
-            for node, targets, payload in prepared:
-                ctx.exchange(node, targets, payload, tag="recv")
+        for _ in range(rounds):
+            with cluster.round() as ctx:
+                for node, targets, payload in prepared:
+                    ctx.exchange(node, targets, payload, tag="recv")
+        if rounds > 1:
+            # Reading a multi-round column compacts it lazily; both
+            # backends must count those compactions identically.
+            for node in cluster.compute_order:
+                cluster.local(node, "recv")
         if isinstance(cluster, ParallelCluster):
             cluster.close()
     return registry.snapshot()
@@ -92,6 +101,26 @@ class TestMergeIdentity:
         # sanity: the families actually recorded something
         assert sim["counters"]["repro_rounds_total"] == {"": 1}
         assert sum(sim["counters"]["repro_delivered_elements_total"].values()) == 20_000
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_storage_compactions_byte_identical_to_sim(self, workers):
+        # Two rounds land two chunks per (node, "recv") column; reading
+        # each column compacts it exactly once on either backend.
+        tree = fat_tree(4)
+        prepared, _ = prepare_uniform_hash(tree, 20_000, 7)
+        sim = _exchange_snapshot(
+            tree, prepared, lambda: Cluster(tree), rounds=2
+        )
+        pool = get_pool(workers, seed=7)
+        proc = _exchange_snapshot(
+            tree,
+            prepared,
+            lambda: ParallelCluster(tree, pool=pool, oracle=True),
+            rounds=2,
+        )
+        assert _round_view(sim) == _round_view(proc)
+        compactions = sim["counters"]["repro_storage_compactions_total"]
+        assert compactions == {"tag=recv": tree.num_compute_nodes}
 
     def test_pool_metrics_exist_only_on_the_process_backend(self):
         tree = fat_tree(2)

@@ -140,9 +140,10 @@ class TestOracleDivergence:
             cluster = ParallelCluster(tree, pool=pool, oracle=True)
             self._seed_and_shuffle(cluster)
             node = cluster.compute_order[0]
-            # Corrupt one received fragment behind the oracle's back.
-            fragments = cluster._storage[node]["shuf"]
-            fragments.append(np.array([999_999], dtype=np.int64))
+            # Corrupt one received column behind the oracle's back.
+            cluster._storage.append(
+                node, "shuf", np.array([999_999], dtype=np.int64)
+            )
             with pytest.raises(OracleMismatch):
                 cluster.verify_oracle()
             cluster.close()

@@ -1,0 +1,130 @@
+"""Unit tests for the columnar storage layer (ColumnarStore).
+
+The load-bearing contracts: appends reference chunks without copying,
+reads are read-only zero-copy views (the single-chunk aliasing case is
+the regression this file pins down), compaction is lazy, cached, and
+counted, and sizes are maintained incrementally.
+"""
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import collecting
+from repro.sim.storage import ColumnarStore
+from repro.topology.builders import star
+from repro.sim.cluster import Cluster
+
+
+class TestColumnarStore:
+    def test_view_of_empty_column_is_empty_readonly(self):
+        store = ColumnarStore()
+        view = store.view("v1", "R")
+        assert len(view) == 0
+        assert not view.flags.writeable
+
+    def test_single_chunk_view_aliases_the_chunk(self):
+        # the zero-copy contract: a single-chunk column is served as a
+        # direct view of the delivered array, no concatenate, no copy
+        store = ColumnarStore()
+        chunk = np.arange(5, dtype=np.int64)
+        store.append("v1", "R", chunk)
+        view = store.view("v1", "R")
+        assert np.shares_memory(view, chunk)
+        assert not view.flags.writeable
+        with pytest.raises(ValueError):
+            view[0] = 99
+
+    def test_multi_chunk_view_compacts_once_and_caches(self):
+        store = ColumnarStore()
+        store.append("v1", "R", np.arange(3, dtype=np.int64))
+        store.append("v1", "R", np.arange(3, 6, dtype=np.int64))
+        assert store.chunk_count("v1", "R") == 2
+        first = store.view("v1", "R")
+        assert first.tolist() == [0, 1, 2, 3, 4, 5]
+        assert store.chunk_count("v1", "R") == 1
+        # repeated reads return the same cached object
+        assert store.view("v1", "R") is first
+
+    def test_append_invalidates_the_cached_view(self):
+        store = ColumnarStore()
+        store.append("v1", "R", np.arange(2, dtype=np.int64))
+        before = store.view("v1", "R")
+        store.append("v1", "R", np.arange(2, 4, dtype=np.int64))
+        after = store.view("v1", "R")
+        assert after is not before
+        assert after.tolist() == [0, 1, 2, 3]
+
+    def test_compactions_are_counted_per_tag(self):
+        store = ColumnarStore()
+        with collecting() as registry:
+            store.append("v1", "R", np.arange(2, dtype=np.int64))
+            store.append("v1", "R", np.arange(2, dtype=np.int64))
+            store.view("v1", "R")  # multi-chunk: counts
+            store.view("v1", "R")  # cached: does not count
+            store.append("v2", "R", np.arange(2, dtype=np.int64))
+            store.view("v2", "R")  # single-chunk: does not count
+        counters = registry.snapshot()["counters"]
+        assert counters["repro_storage_compactions_total"] == {"tag=R": 1}
+
+    def test_sizes_are_incremental(self):
+        store = ColumnarStore()
+        store.append("v1", "R", np.arange(3, dtype=np.int64))
+        store.append("v1", "R", np.arange(4, dtype=np.int64))
+        store.append("v1", "S", np.arange(2, dtype=np.int64))
+        assert store.size("v1", "R") == 7
+        assert store.size("v1") == 9
+        assert store.sizes() == {"v1": {"R": 7, "S": 2}}
+
+    def test_pop_removes_and_returns_readonly(self):
+        store = ColumnarStore()
+        store.append("v1", "R", np.arange(3, dtype=np.int64))
+        values = store.pop("v1", "R")
+        assert values.tolist() == [0, 1, 2]
+        assert not values.flags.writeable
+        assert store.size("v1", "R") == 0
+        assert len(store.view("v1", "R")) == 0
+
+    def test_discard_and_clear(self):
+        store = ColumnarStore()
+        store.append("v1", "R", np.arange(3, dtype=np.int64))
+        store.append("v2", "S", np.arange(2, dtype=np.int64))
+        store.discard("v1", "R")
+        assert store.size("v1", "R") == 0
+        store.discard("ghost", "R")  # no-op
+        store.clear()
+        assert store.sizes() == {}
+
+    def test_tags_and_nodes(self):
+        store = ColumnarStore()
+        store.append("v1", "R", np.arange(1, dtype=np.int64))
+        store.append("v1", "S", np.arange(1, dtype=np.int64))
+        assert store.tags("v1") == frozenset({"R", "S"})
+        assert store.tags("ghost") == frozenset()
+        assert set(store.nodes()) == {"v1"}
+
+
+class TestClusterAliasing:
+    """The single-chunk aliasing regression at the cluster surface."""
+
+    def test_local_of_put_array_is_readonly_alias(self):
+        # put() references the caller's array; local() serves it back as
+        # a writeable=False view — a protocol mutating the return value
+        # must raise instead of silently rewriting storage
+        tree = star(3)
+        cluster = Cluster(tree)
+        original = np.arange(10, dtype=np.int64)
+        cluster.put("v1", "R", original)
+        local = cluster.local("v1", "R")
+        assert np.shares_memory(local, original)
+        assert not local.flags.writeable
+        with pytest.raises(ValueError):
+            local[0] = -1
+        assert cluster.local("v1", "R").tolist() == list(range(10))
+
+    def test_take_returns_readonly(self):
+        tree = star(3)
+        cluster = Cluster(tree)
+        cluster.put("v1", "R", np.arange(4, dtype=np.int64))
+        taken = cluster.take("v1", "R")
+        assert not taken.flags.writeable
+        assert cluster.local_size("v1", "R") == 0

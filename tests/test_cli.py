@@ -63,6 +63,7 @@ class TestCli:
             "uniform-hash shuffle",
             "connected-components superstep shuffle",
             "intersection R-replication multicast",
+            "end-to-end components supersteps",
         }
 
     def test_bench_unknown_subcommand_rejected(self, capsys):
