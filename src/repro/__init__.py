@@ -117,6 +117,14 @@ from repro.registry import (
     tasks,
 )
 from repro.engine import RunPlan, run, run_many, run_plan
+from repro.topology.artifacts import (
+    ArtifactCache,
+    TopologyArtifacts,
+    topology_fingerprint,
+    use_artifacts,
+)
+from repro.plan.optimizer import PlanCache
+from repro.session import EngineSession
 from repro.graphs import (
     PlacedGraph,
     SuperstepDriver,
@@ -233,6 +241,13 @@ __all__ = [
     "run",
     "run_many",
     "RunPlan",
+    # session / serving layer
+    "EngineSession",
+    "ArtifactCache",
+    "TopologyArtifacts",
+    "topology_fingerprint",
+    "use_artifacts",
+    "PlanCache",
     # query planner (repro.plan has the full subsystem API)
     "run_plan",
     "PlanReport",

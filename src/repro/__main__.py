@@ -10,6 +10,8 @@ Usage::
     python -m repro graphs              # graph workloads vs baselines
     python -m repro bench speed         # bulk-exchange A/B wall-clock
     python -m repro bench scale         # process-substrate scaling grid
+    python -m repro bench serve         # cold vs warm session A/B
+    python -m repro serve --queries 500 # warm-session serving (one session)
     python -m repro table1 --r-size 2000 --s-size 2000 --seed 7
     python -m repro compare --backend process --num-workers 4
 
@@ -315,10 +317,98 @@ def _cmd_graphs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Serve a mixed query workload through one warm session."""
+    import time
+
+    from repro.analysis.serve import build_workload
+    from repro.analysis.speed import fat_tree
+    from repro.session import EngineSession
+
+    tree = fat_tree(args.racks)
+    workload, distributions, (catalog, plan_queries) = build_workload(
+        tree, args.queries, seed=args.seed
+    )
+    backend = None if args.backend == "sim" else args.backend
+    num_workers = args.num_workers if backend == "process" else None
+    start = time.perf_counter()
+    task_count = plan_count = 0
+    total_cost = 0.0
+    with EngineSession(
+        tree, catalog=catalog, backend=backend, num_workers=num_workers
+    ) as session:
+        for query in workload:
+            if query.kind == "task":
+                report = session.run(
+                    query.task,
+                    distributions[query.distribution_index],
+                    seed=query.seed,
+                )
+                task_count += 1
+            else:
+                report = session.run_plan(
+                    plan_queries[query.query_index], seed=query.seed
+                )
+                plan_count += 1
+            total_cost += report.cost
+        summary = session.summary()
+    elapsed = time.perf_counter() - start
+    qps = len(workload) / elapsed if elapsed else 0.0
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "topology": tree.name,
+                    "queries": len(workload),
+                    "task_queries": task_count,
+                    "plan_queries": plan_count,
+                    "seconds": round(elapsed, 6),
+                    "qps": round(qps, 2),
+                    "total_cost": total_cost,
+                    "session": summary,
+                },
+                indent=2,
+            )
+        )
+        return 0
+    artifact = summary["artifact_cache"]
+    plan_cache = summary["plan_cache"]
+    print(
+        render_table(
+            [
+                "queries",
+                "task/plan",
+                "seconds",
+                "qps",
+                "artifact hits/misses",
+                "plan hits/misses",
+            ],
+            [
+                [
+                    len(workload),
+                    f"{task_count}/{plan_count}",
+                    f"{elapsed:.2f}",
+                    f"{qps:.1f}",
+                    f"{artifact['hits']}/{artifact['misses']}",
+                    f"{plan_cache['hits']}/{plan_cache['misses']}",
+                ]
+            ],
+            title=(
+                f"Warm session serving {tree.name} "
+                f"(backend={args.backend}, seed={args.seed})"
+            ),
+        )
+    )
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
-    """Substrate benchmarks: ``speed`` A/B, ``scale`` grid, ``check``."""
+    """Substrate benchmarks: ``speed`` A/B, ``scale`` grid, ``serve``,
+    ``check``."""
     if args.subcommand == "scale":
         return _cmd_bench_scale(args)
+    if args.subcommand == "serve":
+        return _cmd_bench_serve(args)
     if args.subcommand == "check":
         return _cmd_bench_check(args)
     from repro.analysis.speed import (
@@ -331,7 +421,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.subcommand != "speed":
         print(
             f"error: unknown bench subcommand {args.subcommand!r}; "
-            "available: speed, scale, check",
+            "available: speed, scale, serve, check",
             file=sys.stderr,
         )
         return 2
@@ -401,6 +491,42 @@ def _cmd_bench_scale(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    """The cold-vs-warm session throughput A/B (``bench serve``)."""
+    from repro.analysis.serve import (
+        check_serve_cases,
+        run_serve_suite,
+        serve_table,
+        write_serve_trajectory,
+    )
+    from repro.parallel.pool import shutdown_pools
+
+    try:
+        cases = run_serve_suite(small=args.small, seed=args.seed)
+    finally:
+        shutdown_pools()
+    check_serve_cases(cases)
+    trajectory = write_serve_trajectory(
+        cases, grid="small" if args.small else "full"
+    )
+    if args.json:
+        print(json.dumps([case.to_dict() for case in cases], indent=2))
+        return 0
+    headers, rows = serve_table(cases)
+    print(
+        render_table(
+            headers,
+            rows,
+            title=(
+                "Warm session vs cold one-shot engine "
+                f"(grid={'small' if args.small else 'full'}, "
+                f"seed={args.seed}; trajectory appended to {trajectory})"
+            ),
+        )
+    )
+    return 0
+
+
 def _cmd_bench_check(args: argparse.Namespace) -> int:
     """Regression sentinel over the committed bench trajectories."""
     import os
@@ -415,13 +541,18 @@ def _cmd_bench_check(args: argparse.Namespace) -> int:
     if not paths:
         paths = [
             name
-            for name in ("BENCH_SPEED.json", "BENCH_SCALE.json")
+            for name in (
+                "BENCH_SPEED.json",
+                "BENCH_SCALE.json",
+                "BENCH_SERVE.json",
+            )
             if os.path.exists(name)
         ]
         if not paths:
             print(
                 "error: no trajectory files found (looked for "
-                "BENCH_SPEED.json / BENCH_SCALE.json); pass paths "
+                "BENCH_SPEED.json / BENCH_SCALE.json / "
+                "BENCH_SERVE.json); pass paths "
                 "explicitly: repro bench check FILE ...",
                 file=sys.stderr,
             )
@@ -703,6 +834,12 @@ def main(argv: list[str] | None = None) -> int:
         help="bench: shrink the grid to CI-smoke sizes",
     )
     parser.add_argument(
+        "--queries",
+        type=int,
+        default=200,
+        help="serve: number of mixed workload queries (default 200)",
+    )
+    parser.add_argument(
         "--backend",
         default="sim",
         choices=["sim", "process"],
@@ -778,6 +915,7 @@ def main(argv: list[str] | None = None) -> int:
             "plan",
             "graphs",
             "bench",
+            "serve",
             "trace",
             "metrics",
         ],
@@ -788,8 +926,8 @@ def main(argv: list[str] | None = None) -> int:
         nargs="?",
         default=None,
         help=(
-            "bench: which benchmark to run ('speed', 'scale' or "
-            "'check'); trace/metrics: which task to run (default "
+            "bench: which benchmark to run ('speed', 'scale', 'serve' "
+            "or 'check'); trace/metrics: which task to run (default "
             "connected-components)"
         ),
     )
@@ -826,6 +964,7 @@ def main(argv: list[str] | None = None) -> int:
         "plan": _cmd_plan,
         "graphs": _cmd_graphs,
         "bench": _cmd_bench,
+        "serve": _cmd_serve,
         "trace": _cmd_trace,
         "metrics": _cmd_metrics,
     }

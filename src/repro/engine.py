@@ -49,6 +49,7 @@ from repro.registry import (
 )
 from repro.sim.cluster import current_backend, use_backend
 from repro.sim.protocol import ProtocolResult
+from repro.topology.artifacts import ensure_artifact_cache, get_artifact_cache, use_artifacts
 from repro.topology.tree import TreeTopology
 
 # Importing these modules is what populates the registry: every protocol
@@ -318,7 +319,12 @@ def run_with_result(
     ) as root:
         started = perf_counter()
         try:
-            with substrate:
+            # A one-shot artifact scope: clusters the protocol builds
+            # (one for most tasks, one per superstep for graph drivers)
+            # share topology artifacts within this run; inside an
+            # EngineSession the session's long-lived cache is reused
+            # instead — run() is a thin one-shot session.
+            with substrate, ensure_artifact_cache():
                 result = spec.call(tree, distribution, seed=seed, **opts)
         except Exception:
             if run_labels is not None:
@@ -506,12 +512,19 @@ def run_many(
     tracer = get_tracer()
     registry = get_registry()
     auditor = get_auditor()
-    if tracer.enabled or registry.enabled or auditor.enabled:
-        # Carry the caller's recording tracer, metrics registry, and
-        # auditor onto the executor threads (tracer buffer and registry
-        # instruments are shared and locked; span stacks are
-        # per-thread).  The no-op instances are *not* shared — the
-        # null tracer's path stack is single-threaded state.
+    artifact_cache = get_artifact_cache()
+    if (
+        tracer.enabled
+        or registry.enabled
+        or auditor.enabled
+        or artifact_cache is not None
+    ):
+        # Carry the caller's recording tracer, metrics registry,
+        # auditor, and artifact cache onto the executor threads (tracer
+        # buffer, registry instruments, and the artifact cache are
+        # shared and locked; span stacks are per-thread).  The no-op
+        # instances are *not* shared — the null tracer's path stack is
+        # single-threaded state.
         def _mapper(indexed: tuple[int, RunPlan]) -> RunReport:
             with use_tracer(tracer) if tracer.enabled else nullcontext():
                 with (
@@ -524,7 +537,12 @@ def run_many(
                         if auditor.enabled
                         else nullcontext()
                     ):
-                        return _execute_annotated(indexed)
+                        with (
+                            use_artifacts(artifact_cache)
+                            if artifact_cache is not None
+                            else nullcontext()
+                        ):
+                            return _execute_annotated(indexed)
 
     else:
         _mapper = _execute_annotated
@@ -541,6 +559,7 @@ def run_plan(
     seed: int = 0,
     verify: bool = True,
     keep_output: bool = False,
+    plan_cache=None,
 ):
     """Compile and execute a logical query plan; report per-stage costs.
 
@@ -553,6 +572,10 @@ def run_plan(
     one cluster, materializing every intermediate as a new
     :class:`~repro.data.distribution.Distribution`.
 
+    ``plan_cache`` — a :class:`repro.plan.optimizer.PlanCache` — lets
+    repeated shapes skip optimization entirely; sessions thread their
+    cache through here.
+
     Returns a :class:`~repro.report.PlanReport`; with
     ``keep_output=True``, returns ``(report, output_relation)``.
     """
@@ -560,12 +583,17 @@ def run_plan(
     from repro.plan.executor import execute_plan
     from repro.plan.optimizer import optimize
 
-    physical = optimize(query, tree, catalog, strategy=strategy)
-    return execute_plan(
-        physical,
-        tree,
-        catalog,
-        seed=seed,
-        verify=verify,
-        keep_output=keep_output,
-    )
+    # One-shot artifact scope, mirroring run(): the per-stage clusters
+    # the executor builds all share one set of topology artifacts.
+    with ensure_artifact_cache():
+        physical = optimize(
+            query, tree, catalog, strategy=strategy, cache=plan_cache
+        )
+        return execute_plan(
+            physical,
+            tree,
+            catalog,
+            seed=seed,
+            verify=verify,
+            keep_output=keep_output,
+        )

@@ -65,6 +65,23 @@ LATENCY_BUCKETS = (
 #: 1.0 means the planner's estimate was exact).
 RATIO_BUCKETS = (0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 4.0, 10.0)
 
+#: Counter families recorded by the session/serving caches (created on
+#: first touch like every instrument; listed here as the documented
+#: contract the serve CLI and dashboards key on).  The artifact pair is
+#: incremented by :meth:`repro.topology.artifacts.ArtifactCache.get`;
+#: the plan triple by :class:`repro.plan.optimizer.PlanCache` (hits and
+#: misses labeled by ``strategy``; ``rejected`` counts plans the
+#: lower-bound admission gate kept out of the cache).
+ARTIFACT_CACHE_COUNTERS = (
+    "repro_artifact_cache_hits_total",
+    "repro_artifact_cache_misses_total",
+)
+PLAN_CACHE_COUNTERS = (
+    "repro_plan_cache_hits_total",
+    "repro_plan_cache_misses_total",
+    "repro_plan_cache_rejected_total",
+)
+
 
 def _label_key(labels: dict) -> str:
     """Deterministic flat encoding of a label set (sorted ``k=v`` pairs).

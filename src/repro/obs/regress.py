@@ -88,6 +88,15 @@ BANDS: dict[str, tuple[Band, ...]] = {
         Band("speedup", warn_below=0.75),
         Band("seconds", higher_is_better=False, warn_below=_TIMING_WARN),
     ),
+    # Serve throughput is end-to-end wall clock (cold and warm replays
+    # in one process), noisier than the A/B rounds — the cold/warm
+    # ratio warns; the byte-identity flag failing is handled by the
+    # identity gate below, never by timing bands.
+    "bench_serve": (
+        Band("speedup", warn_below=0.75),
+        Band("warm_s", higher_is_better=False, warn_below=_TIMING_WARN),
+        Band("cold_s", higher_is_better=False, warn_below=_TIMING_WARN),
+    ),
 }
 
 #: Fallback for unknown benchmark names: gate on speedup if present.

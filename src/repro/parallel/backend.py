@@ -336,6 +336,7 @@ class ParallelCluster(Cluster):
         round_timeout: float | None = None,
         oracle: bool = False,
         seed: int = 0,
+        artifacts=None,
     ) -> None:
         if exchange_mode not in (None, "bulk"):
             raise ProtocolError(
@@ -347,7 +348,6 @@ class ParallelCluster(Cluster):
         self.pool = pool
         self.num_workers = pool.num_workers
         self.round_timeout = round_timeout
-        self._rank_of_array: np.ndarray | None = None
         self._retained_segments: list = []
         self._finalizer = weakref.finalize(
             self, _release_segments, pool.shm, self._retained_segments
@@ -366,6 +366,7 @@ class ParallelCluster(Cluster):
             distribution,
             bits_per_element=bits_per_element,
             exchange_mode="bulk",
+            artifacts=artifacts,
         )
 
     # ------------------------------------------------------------------ #
@@ -386,16 +387,12 @@ class ParallelCluster(Cluster):
         return (index * self.num_workers) // len(computes)
 
     def _rank_lookup(self, routing) -> np.ndarray:
-        """Routing-index -> owning rank (``-1`` for routers), cached."""
-        if self._rank_of_array is None:
-            computes = self.compute_order
-            rank_of = np.full(routing.num_nodes, -1, dtype=np.int32)
-            for index, node in enumerate(computes):
-                rank_of[routing.index_of[node]] = (
-                    index * self.num_workers
-                ) // len(computes)
-            self._rank_of_array = rank_of
-        return self._rank_of_array
+        """Routing-index -> owning rank (``-1`` for routers).
+
+        Cached on the shared topology artifacts keyed by the rank
+        count, so a session's clusters stop rebuilding it per run.
+        """
+        return self._artifacts.rank_lookup(routing, self.num_workers)
 
     def _make_round_context(self) -> RoundContext:
         return ParallelRoundContext(self)

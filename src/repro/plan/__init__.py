@@ -58,6 +58,7 @@ from repro.plan.cost import (
 from repro.plan.optimizer import (
     PhysicalPlan,
     PhysicalStage,
+    PlanCache,
     optimize,
 )
 from repro.plan.executor import execute_plan
@@ -88,5 +89,6 @@ __all__ = [
     "optimize",
     "PhysicalPlan",
     "PhysicalStage",
+    "PlanCache",
     "execute_plan",
 ]

@@ -22,10 +22,14 @@ what join ordering alone is worth).
 
 from __future__ import annotations
 
+import hashlib
+import threading
 from dataclasses import dataclass
 from itertools import permutations
+from weakref import WeakKeyDictionary
 
 from repro.errors import PlanError
+from repro.obs.metrics import get_registry
 from repro.plan.cost import (
     CostModel,
     RelationStats,
@@ -37,7 +41,8 @@ from repro.plan.cost import (
 from repro.plan.logical import Filter, GroupBy, Join, LogicalPlan, Scan
 from repro.plan.relation import MAX_PAYLOAD_BITS, MAX_ROW_BITS, Schema
 from repro.registry import protocols_for
-from repro.topology.tree import TreeTopology
+from repro.topology.artifacts import topology_fingerprint
+from repro.topology.tree import TreeTopology, node_sort_key
 from repro.util.text import render_table
 
 STRATEGIES = ("optimized", "gather", "worst-order")
@@ -589,24 +594,185 @@ class _Compiler:
         return current, stats, schema
 
 
+# --------------------------------------------------------------------- #
+# plan cache
+# --------------------------------------------------------------------- #
+
+
+class PlanCache:
+    """A bounded, thread-safe LRU of compiled :class:`PhysicalPlan` s.
+
+    A serving session sees the same handful of query *shapes* over and
+    over; the left-deep order enumeration and per-stage protocol beam
+    search dominate small-plan latency, and their output depends only on
+    the logical plan, the topology structure, and the catalog's
+    placement statistics.  The cache key captures exactly those three
+    (:meth:`key`): the logical plan's deterministic ``describe()``
+    string, the structural :func:`topology_fingerprint` (label-blind, so
+    renamed builds of one network share plans), and a per-relation
+    statistics digest — schema, row/distinct counts, and the per-node
+    fragment profile — so *any* data movement or re-placement changes
+    the key and misses, never serving a stale plan.  Cached plans are
+    frozen dataclasses shared by reference.
+
+    Admission is lower-bound-gated: the ``optimized`` strategy's
+    estimate is the model's cheapest achievable cost for the shape, so
+    a baseline plan (``gather`` / ``worst-order``) estimated at more
+    than ``admit_ratio`` times the cached optimized sibling is *not*
+    admitted — deliberately bad diagnostic plans should not evict
+    serving traffic.  Hits and misses are recorded on the installed
+    metrics registry as ``repro_plan_cache_hits_total`` /
+    ``_misses_total`` (rejections as ``_rejected_total``).
+    """
+
+    def __init__(
+        self, max_entries: int = 128, *, admit_ratio: float = 8.0
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if admit_ratio < 1.0:
+            raise ValueError(f"admit_ratio must be >= 1.0, got {admit_ratio}")
+        self._max_entries = max_entries
+        self._admit_ratio = admit_ratio
+        self._lock = threading.RLock()
+        self._entries: dict[tuple, PhysicalPlan] = {}
+        # Per-relation stats digests, keyed weakly by the PlacedRelation
+        # object: relations are immutable containers, so one digest per
+        # object lifetime is sound, and sessions pinning a catalog pay
+        # the (row-scanning) digest once instead of per lookup.
+        self._relation_digests: WeakKeyDictionary = WeakKeyDictionary()
+        self.hits = 0
+        self.misses = 0
+        self.rejected = 0
+
+    def _relation_digest(self, name: str, relation) -> str:
+        digest = self._relation_digests.get(relation)
+        if digest is None:
+            stats = stats_of(relation)
+            hasher = hashlib.blake2b(digest_size=16)
+            hasher.update(repr(relation.schema.columns).encode())
+            hasher.update(repr(relation.schema.bits).encode())
+            hasher.update(repr(stats.rows).encode())
+            hasher.update(repr(sorted(stats.distinct.items())).encode())
+            hasher.update(
+                repr(
+                    sorted(
+                        stats.profile.items(),
+                        key=lambda item: node_sort_key(item[0]),
+                    )
+                ).encode()
+            )
+            digest = hasher.hexdigest()
+            self._relation_digests[relation] = digest
+        return f"{name}={digest}"
+
+    def key(
+        self,
+        query: LogicalPlan,
+        tree: TreeTopology,
+        catalog: dict,
+        strategy: str,
+    ) -> tuple:
+        """The (shape, topology, placement-stats, strategy) cache key."""
+        with self._lock:
+            catalog_part = tuple(
+                self._relation_digest(name, catalog[name])
+                for name in sorted(catalog)
+            )
+        return (
+            query.describe(),
+            topology_fingerprint(tree),
+            catalog_part,
+            strategy,
+        )
+
+    def lookup(self, key: tuple) -> PhysicalPlan | None:
+        """The cached plan for ``key``, with LRU touch; ``None`` on miss."""
+        registry = get_registry()
+        with self._lock:
+            plan = self._entries.get(key)
+            if plan is not None:
+                self._entries.pop(key)
+                self._entries[key] = plan
+                self.hits += 1
+                if registry.enabled:
+                    registry.counter(
+                        "repro_plan_cache_hits_total", strategy=key[3]
+                    ).inc()
+                return plan
+            self.misses += 1
+            if registry.enabled:
+                registry.counter(
+                    "repro_plan_cache_misses_total", strategy=key[3]
+                ).inc()
+            return None
+
+    def admit(self, key: tuple, plan: PhysicalPlan) -> bool:
+        """Cache ``plan`` unless admission control rejects it."""
+        registry = get_registry()
+        with self._lock:
+            if plan.strategy != "optimized":
+                sibling = self._entries.get(key[:3] + ("optimized",))
+                if (
+                    sibling is not None
+                    and plan.estimated_cost
+                    > self._admit_ratio * max(sibling.estimated_cost, 1e-12)
+                ):
+                    self.rejected += 1
+                    if registry.enabled:
+                        registry.counter(
+                            "repro_plan_cache_rejected_total",
+                            strategy=plan.strategy,
+                        ).inc()
+                    return False
+            self._entries[key] = plan
+            while len(self._entries) > self._max_entries:
+                evicted = next(iter(self._entries))
+                del self._entries[evicted]
+            return True
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        """Hit/miss/rejection counts and current size, for summaries."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "rejected": self.rejected,
+            }
+
+
 def optimize(
     query: LogicalPlan,
     tree: TreeTopology,
     catalog: dict,
     *,
     strategy: str = "optimized",
+    cache: PlanCache | None = None,
 ) -> PhysicalPlan:
     """Compile ``query`` into a :class:`PhysicalPlan` for ``tree``.
 
     ``catalog`` maps base relation names to
     :class:`~repro.plan.relation.PlacedRelation` instances; their exact
     statistics seed the cardinality model.  ``strategy`` is one of
-    ``optimized`` / ``gather`` / ``worst-order``.
+    ``optimized`` / ``gather`` / ``worst-order``.  With a
+    :class:`PlanCache`, a repeated (shape, topology, placement) triple
+    returns the previously compiled frozen plan without re-running the
+    order/protocol search.
     """
+    if cache is not None:
+        key = cache.key(query, tree, catalog, strategy)
+        cached = cache.lookup(key)
+        if cached is not None:
+            return cached
     compiler = _Compiler(tree, catalog, strategy)
     output, _, _ = compiler.compile(query)
     stages = tuple(compiler.stages)
-    return PhysicalPlan(
+    plan = PhysicalPlan(
         query=query.describe(),
         strategy=strategy,
         topology=tree.name,
@@ -614,3 +780,6 @@ def optimize(
         output=output,
         estimated_cost=sum(s.est_cost for s in stages),
     )
+    if cache is not None:
+        cache.admit(key, plan)
+    return plan

@@ -44,8 +44,12 @@ from repro.obs.metrics import get_registry
 from repro.obs.tracer import get_tracer
 from repro.sim.ledger import CostLedger
 from repro.sim.storage import ColumnarStore
-from repro.topology.steiner import PathOracle
-from repro.topology.tree import NodeId, TreeTopology, node_sort_key
+from repro.topology.artifacts import (
+    TopologyArtifacts,
+    resolve_artifacts,
+    topology_fingerprint,
+)
+from repro.topology.tree import NodeId, TreeTopology
 from repro.util.grouping import (
     cached_group_slices,
     concat_group_slices,
@@ -65,18 +69,36 @@ DEFAULT_EXCHANGE_MODE = "bulk"
 _EXCHANGE_MODES = ("bulk", "per-send")
 
 
+class _ExchangeState(threading.local):
+    def __init__(self) -> None:
+        self.mode = DEFAULT_EXCHANGE_MODE
+
+
+_EXCHANGE_STATE = _ExchangeState()
+
+
+def default_exchange_mode() -> str:
+    """The exchange mode clusters built in this thread default to."""
+    return _EXCHANGE_STATE.mode
+
+
 @contextmanager
 def use_exchange_mode(mode: str) -> Iterator[None]:
-    """Temporarily change the default exchange mode (for benchmarks)."""
-    global DEFAULT_EXCHANGE_MODE
+    """Temporarily change the default exchange mode (for benchmarks).
+
+    Thread-local, like every installer in this codebase: an A/B
+    benchmark flipping modes on one thread cannot change what a
+    concurrent session's runs build on another, and the ``finally``
+    restores the previous mode even when the block raises.
+    """
     if mode not in _EXCHANGE_MODES:
         raise ProtocolError(f"unknown exchange mode {mode!r}")
-    previous = DEFAULT_EXCHANGE_MODE
-    DEFAULT_EXCHANGE_MODE = mode
+    previous = _EXCHANGE_STATE.mode
+    _EXCHANGE_STATE.mode = mode
     try:
         yield
     finally:
-        DEFAULT_EXCHANGE_MODE = previous
+        _EXCHANGE_STATE.mode = previous
 
 
 # ---------------------------------------------------------------------- #
@@ -910,24 +932,37 @@ class Cluster:
         *,
         bits_per_element: int = 64,
         exchange_mode: str | None = None,
+        artifacts: TopologyArtifacts | None = None,
     ) -> None:
         self._tree = tree
-        self.oracle = PathOracle(tree)
+        # The expensive per-topology structures (routing index, Steiner
+        # memos, compute order, destination-set validation memo) come
+        # from the artifact layer: prebuilt and shared when a session or
+        # one-shot run scope installed an ArtifactCache, private and
+        # fresh otherwise — the historical per-cluster behavior.
+        if artifacts is None:
+            artifacts = resolve_artifacts(tree)
+        elif artifacts.tree is not tree and artifacts.fingerprint != (
+            topology_fingerprint(tree)
+        ):
+            # Prebuilt artifacts may come from a structurally identical
+            # tree object (fingerprint keying); a structurally
+            # *different* one would silently misroute every transfer.
+            raise ProtocolError(
+                f"artifacts were built for {artifacts.tree.name!r}, whose "
+                f"structure differs from {tree.name!r}"
+            )
+        self._artifacts = artifacts
+        self.oracle = artifacts.oracle
         self.ledger = CostLedger(tree, bits_per_element=bits_per_element)
         if exchange_mode is None:
-            exchange_mode = DEFAULT_EXCHANGE_MODE
+            exchange_mode = default_exchange_mode()
         if exchange_mode not in _EXCHANGE_MODES:
             raise ProtocolError(f"unknown exchange mode {exchange_mode!r}")
         self._exchange_mode = exchange_mode
-        self._compute_order: tuple | None = None
-        self._compute_lookup_array: np.ndarray | None = None
         self._storage = ColumnarStore()
         self._received_elements: dict[NodeId, int] = {}
-        # destination frozensets already validated against this tree —
-        # the tree is immutable, so a set checked once never needs
-        # re-checking (replicating protocols reuse the same Steiner
-        # destination sets every round)
-        self._checked_destination_sets: set[frozenset] = set()
+        self._checked_destination_sets = artifacts.checked_destination_sets
         self._round_open = False
         if distribution is not None:
             self.load(distribution)
@@ -942,28 +977,23 @@ class Cluster:
         return self._exchange_mode
 
     @property
+    def artifacts(self) -> TopologyArtifacts:
+        """The per-topology structures this cluster runs on."""
+        return self._artifacts
+
+    @property
     def compute_order(self) -> tuple:
-        """The compute nodes in canonical order (cached).
+        """The compute nodes in canonical order (artifact-shared).
 
         This is the node list hash-based protocols index into, so
         :meth:`RoundContext.exchange` uses it as the default target
         universe.
         """
-        if self._compute_order is None:
-            self._compute_order = tuple(
-                sorted(self._tree.compute_nodes, key=node_sort_key)
-            )
-        return self._compute_order
+        return self._artifacts.compute_order
 
     def _compute_lookup(self, routing, dtype) -> np.ndarray:
-        """Routing-index ids of the canonical compute order (cached)."""
-        if self._compute_lookup_array is None:
-            self._compute_lookup_array = np.fromiter(
-                (routing.index_of[v] for v in self.compute_order),
-                dtype,
-                len(self.compute_order),
-            )
-        return self._compute_lookup_array
+        """Routing-index ids of the canonical compute order (artifact-shared)."""
+        return self._artifacts.compute_lookup(routing, dtype)
 
     # ------------------------------------------------------------------ #
     # storage

@@ -1,0 +1,267 @@
+"""Session-scoped topology artifacts: build once, serve many runs.
+
+Every expensive structure a cluster derives from its topology —
+:class:`~repro.topology.steiner.RoutingIndex` LCA tables, memoised
+Steiner decompositions, the canonical compute order, rank-ownership
+lookups — is a pure function of the immutable
+:class:`~repro.topology.tree.TreeTopology` (Hu, Koutris & Blanas
+parameterize the whole cost model by the topology alone).  A one-shot
+``run()`` rebuilding them per cluster is fine; a serving engine
+answering thousands of queries on one fat tree is not.  This module
+factors those structures into :class:`TopologyArtifacts`, cached in an
+:class:`ArtifactCache` keyed by a stable :func:`topology_fingerprint`
+and installed thread-locally exactly like the :mod:`repro.obs`
+tracer/registry/auditor:
+
+* :class:`~repro.session.EngineSession` installs a long-lived cache, so
+  every cluster built inside the session — by any protocol, any
+  superstep, any plan stage — shares one set of artifacts per topology;
+* the module-level engine wraps each run in
+  :func:`ensure_artifact_cache`, a *one-shot* cache torn down with the
+  run — multi-cluster runs (graph supersteps, plan pipelines) stop
+  rebuilding the routing index per cluster, but nothing leaks across
+  independent ``run()`` calls.
+
+Sharing is byte-identity-safe by construction: artifacts hold no
+data-dependent state (the destination-set memo is a validation cache;
+path/Steiner memos are pure topology queries), so a warm cluster
+produces ledgers, storage, and reports identical to a cold one — the
+property the serve benchmark and the session property tests pin down.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+from weakref import WeakValueDictionary
+
+import numpy as np
+
+from repro.obs.metrics import get_registry
+from repro.topology.steiner import PathOracle
+from repro.topology.tree import TreeTopology, node_sort_key
+
+
+def topology_fingerprint(tree: TreeTopology) -> str:
+    """A stable content digest of a topology's *structure*.
+
+    Two trees with the same nodes (type + repr), the same directed
+    edges with the same bandwidths, and the same compute-node set map
+    to the same fingerprint — the ``name`` label is deliberately
+    excluded, so differently-labelled builds of the same network share
+    artifacts.  Node identity uses :func:`node_sort_key` (type name,
+    str, repr): distinct ids that stringify identically but differ in
+    type or repr stay distinct, matching the canonical orders every
+    artifact is built from.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    for node in sorted(tree.nodes, key=node_sort_key):
+        digest.update(repr(node_sort_key(node)).encode())
+        digest.update(b"\x01" if node in tree.compute_nodes else b"\x00")
+    for (u, v) in sorted(
+        tree.directed_edges, key=lambda e: (node_sort_key(e[0]), node_sort_key(e[1]))
+    ):
+        digest.update(
+            repr((node_sort_key(u), node_sort_key(v), tree.bandwidth(u, v))).encode()
+        )
+    return digest.hexdigest()
+
+
+class TopologyArtifacts:
+    """The shared per-topology structures one or many clusters run on.
+
+    Everything here is a deterministic pure function of ``tree``;
+    construction is cheap (the heavy pieces — the routing index, the
+    Steiner memos — still build lazily on first use, but now build
+    *once per topology* instead of once per cluster).  Instances are
+    safe to share across ``run_many`` threads: the routing index is
+    assigned atomically (a racing rebuild yields an equivalent,
+    deterministic structure), dict/set memo insertion is atomic under
+    the GIL, and the rank-lookup table is guarded by a lock.
+    """
+
+    def __init__(self, tree: TreeTopology) -> None:
+        self.tree = tree
+        self.fingerprint = topology_fingerprint(tree)
+        self.oracle = PathOracle(tree)
+        self.compute_order: tuple = tuple(
+            sorted(tree.compute_nodes, key=node_sort_key)
+        )
+        #: Destination frozensets already validated against this tree
+        #: (see :meth:`RoundContext.exchange_multicast`); a validation
+        #: memo, never consulted for routing or accounting.
+        self.checked_destination_sets: set = set()
+        self._lock = threading.Lock()
+        self._compute_lookup_array: np.ndarray | None = None
+        self._rank_lookups: dict[int, np.ndarray] = {}
+
+    def compute_lookup(self, routing, dtype) -> np.ndarray:
+        """Routing-index ids of the canonical compute order (cached)."""
+        if self._compute_lookup_array is None:
+            self._compute_lookup_array = np.fromiter(
+                (routing.index_of[v] for v in self.compute_order),
+                dtype,
+                len(self.compute_order),
+            )
+        return self._compute_lookup_array
+
+    def rank_lookup(self, routing, num_workers: int) -> np.ndarray:
+        """Routing-index -> owning rank (``-1`` for routers), per rank count.
+
+        The process backend assigns compute nodes to ranks in
+        contiguous blocks of the canonical compute order; the table
+        depends only on (topology, ``num_workers``), so sessions mixing
+        worker counts keep one entry per count.
+        """
+        table = self._rank_lookups.get(num_workers)
+        if table is None:
+            with self._lock:
+                table = self._rank_lookups.get(num_workers)
+                if table is None:
+                    computes = self.compute_order
+                    table = np.full(routing.num_nodes, -1, dtype=np.int32)
+                    for index, node in enumerate(computes):
+                        table[routing.index_of[node]] = (
+                            index * num_workers
+                        ) // len(computes)
+                    self._rank_lookups[num_workers] = table
+        return table
+
+
+class ArtifactCache:
+    """A bounded, thread-safe LRU of :class:`TopologyArtifacts`.
+
+    Keyed by :func:`topology_fingerprint`, with a weak identity fast
+    path: the same ``TreeTopology`` *object* skips fingerprinting
+    entirely (the common case inside a session pinning one tree).
+    Hits and misses are recorded on the installed metrics registry as
+    ``repro_artifact_cache_hits_total`` / ``_misses_total``.
+    """
+
+    def __init__(self, max_entries: int = 16) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self._max_entries = max_entries
+        self._lock = threading.RLock()
+        self._entries: dict[str, TopologyArtifacts] = {}
+        self._by_identity: WeakValueDictionary = WeakValueDictionary()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, tree: TreeTopology) -> TopologyArtifacts:
+        """The artifacts for ``tree``, built on first sight."""
+        registry = get_registry()
+        with self._lock:
+            artifacts = self._by_identity.get(id(tree))
+            if artifacts is not None and artifacts.tree is tree:
+                self.hits += 1
+                if registry.enabled:
+                    registry.counter("repro_artifact_cache_hits_total").inc()
+                return artifacts
+            artifacts = self._entries.get(topology_fingerprint(tree))
+            if artifacts is not None:
+                # LRU touch: re-insert at the back of the dict order.
+                self._entries.pop(artifacts.fingerprint)
+                self._entries[artifacts.fingerprint] = artifacts
+                self._by_identity[id(tree)] = artifacts
+                self.hits += 1
+                if registry.enabled:
+                    registry.counter("repro_artifact_cache_hits_total").inc()
+                return artifacts
+            artifacts = TopologyArtifacts(tree)
+            self._entries[artifacts.fingerprint] = artifacts
+            self._by_identity[id(tree)] = artifacts
+            while len(self._entries) > self._max_entries:
+                evicted = next(iter(self._entries))
+                del self._entries[evicted]
+            self.misses += 1
+            if registry.enabled:
+                registry.counter("repro_artifact_cache_misses_total").inc()
+            return artifacts
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        """Hit/miss counts and current size, for session summaries."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+            }
+
+
+# ---------------------------------------------------------------------- #
+# installation (mirrors repro.obs.metrics)
+# ---------------------------------------------------------------------- #
+
+
+class _ArtifactState(threading.local):
+    def __init__(self) -> None:
+        self.cache: ArtifactCache | None = None
+
+
+_STATE = _ArtifactState()
+
+
+def get_artifact_cache() -> ArtifactCache | None:
+    """The artifact cache installed in this thread (``None`` when cold)."""
+    return _STATE.cache
+
+
+def set_artifact_cache(cache: ArtifactCache | None) -> ArtifactCache | None:
+    """Install ``cache`` in this thread; returns the previous one."""
+    previous = _STATE.cache
+    _STATE.cache = cache
+    return previous
+
+
+@contextmanager
+def use_artifacts(cache: ArtifactCache) -> Iterator[ArtifactCache]:
+    """Install ``cache`` in this thread for the duration of the block.
+
+    Exception-safe like every installer in this codebase (the previous
+    cache is restored in a ``finally``): a failing run inside a session
+    cannot leak the session's cache onto the caller's thread.
+    """
+    previous = set_artifact_cache(cache)
+    try:
+        yield cache
+    finally:
+        _STATE.cache = previous
+
+
+@contextmanager
+def ensure_artifact_cache() -> Iterator[ArtifactCache]:
+    """A one-shot cache if none is active; a no-op inside a session.
+
+    The module-level engine wraps each run in this: clusters built
+    within the run share artifacts (graph supersteps, plan stages), the
+    cache dies with the run, and — crucially — an enclosing session's
+    long-lived cache is left in place untouched, so
+    ``session.run(...)`` and plain ``run(...)`` stay the same code path.
+    """
+    active = _STATE.cache
+    if active is not None:
+        yield active
+        return
+    with use_artifacts(ArtifactCache()) as cache:
+        yield cache
+
+
+def resolve_artifacts(tree: TreeTopology) -> TopologyArtifacts:
+    """Artifacts for ``tree`` from the installed cache, else built fresh.
+
+    The constructor-side hook: :class:`~repro.sim.cluster.Cluster` calls
+    this when not handed prebuilt artifacts explicitly, which preserves
+    cold-path behavior exactly (a private, unshared build) while letting
+    sessions and one-shot run scopes share transparently.
+    """
+    cache = _STATE.cache
+    if cache is not None:
+        return cache.get(tree)
+    return TopologyArtifacts(tree)

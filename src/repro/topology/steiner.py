@@ -14,6 +14,7 @@ destination-set) pair for many elements.
 
 from __future__ import annotations
 
+import threading
 from typing import Hashable, Iterable
 
 import numpy as np
@@ -227,19 +228,30 @@ class RoutingIndex:
 
 
 class PathOracle:
-    """Memoised path / Steiner-edge queries against one topology."""
+    """Memoised path / Steiner-edge queries against one topology.
+
+    Instances are shared across clusters — and across ``run_many``
+    threads — through the artifact layer
+    (:mod:`repro.topology.artifacts`), so the memo dicts rely on the
+    GIL's atomic inserts (a racing duplicate computation yields an
+    equal tuple) and the routing index builds under a lock: one build
+    per topology, ever.
+    """
 
     def __init__(self, tree: TreeTopology) -> None:
         self._tree = tree
         self._path_cache: dict[tuple, tuple[DirectedEdge, ...]] = {}
         self._steiner_cache: dict[tuple, tuple[DirectedEdge, ...]] = {}
         self._routing: RoutingIndex | None = None
+        self._routing_lock = threading.Lock()
 
     @property
     def routing_index(self) -> RoutingIndex:
-        """The integer-indexed routing structure (built lazily, cached)."""
+        """The integer-indexed routing structure (built lazily, once)."""
         if self._routing is None:
-            self._routing = RoutingIndex(self._tree)
+            with self._routing_lock:
+                if self._routing is None:
+                    self._routing = RoutingIndex(self._tree)
         return self._routing
 
     @property

@@ -1,0 +1,179 @@
+"""Tests for the compiled-plan cache (repro.plan.optimizer.PlanCache)."""
+
+import pytest
+
+import repro
+from repro.obs.metrics import collecting
+from repro.plan import (
+    PlanCache,
+    chain_catalog,
+    chain_query,
+    optimize,
+    star_catalog,
+    star_query,
+)
+from repro.topology.builders import two_level
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return two_level([3, 3], uplink_bandwidth=2.0)
+
+
+@pytest.fixture(scope="module")
+def catalog(tree):
+    return chain_catalog(tree, num_relations=3, rows=200, seed=0)
+
+
+class TestKeys:
+    def test_repeat_compile_hits(self, tree, catalog):
+        cache = PlanCache()
+        query = chain_query(3)
+        first = optimize(query, tree, catalog, cache=cache)
+        second = optimize(query, tree, catalog, cache=cache)
+        assert second is first  # shared by reference, not recompiled
+        assert cache.stats() == {
+            "entries": 1,
+            "hits": 1,
+            "misses": 1,
+            "rejected": 0,
+        }
+
+    def test_renamed_tree_hits(self, catalog, tree):
+        # same structure, different label: plans are shared
+        renamed = two_level([3, 3], uplink_bandwidth=2.0, name="replica")
+        renamed_catalog = chain_catalog(
+            renamed, num_relations=3, rows=200, seed=0
+        )
+        cache = PlanCache()
+        query = chain_query(3)
+        key_a = cache.key(query, tree, catalog, "optimized")
+        key_b = cache.key(query, renamed, renamed_catalog, "optimized")
+        assert key_a == key_b
+
+    def test_moved_data_misses(self, tree):
+        # same shape, same topology — but the placement changed
+        cache = PlanCache()
+        query = chain_query(3)
+        here = chain_catalog(tree, num_relations=3, rows=200, seed=0)
+        there = chain_catalog(tree, num_relations=3, rows=200, seed=9)
+        assert cache.key(query, tree, here, "optimized") != cache.key(
+            query, tree, there, "optimized"
+        )
+
+    def test_different_shape_misses(self, tree, catalog):
+        cache = PlanCache()
+        assert cache.key(chain_query(3), tree, catalog, "optimized") != (
+            cache.key(chain_query(2), tree, catalog, "optimized")
+        )
+
+    def test_strategy_is_part_of_the_key(self, tree, catalog):
+        cache = PlanCache()
+        query = chain_query(3)
+        optimize(query, tree, catalog, cache=cache)
+        plan = optimize(query, tree, catalog, strategy="gather", cache=cache)
+        assert plan.strategy == "gather"
+        assert cache.hits == 0
+        assert cache.misses == 2
+
+    def test_relation_digest_is_memoized(self, tree, catalog):
+        cache = PlanCache()
+        query = chain_query(3)
+        cache.key(query, tree, catalog, "optimized")
+        digests = dict(cache._relation_digests)
+        cache.key(query, tree, catalog, "optimized")
+        assert dict(cache._relation_digests) == digests
+
+
+class TestAdmission:
+    def test_expensive_baseline_rejected(self, tree, catalog):
+        cache = PlanCache(admit_ratio=1.0)
+        query = chain_query(3)
+        optimized = optimize(query, tree, catalog, cache=cache)
+        gather = optimize(query, tree, catalog, strategy="gather", cache=cache)
+        # sanity: the diagnostic plan really is costlier than optimal
+        assert gather.estimated_cost > optimized.estimated_cost
+        assert cache.rejected == 1
+        # the rejected plan was still returned, just not cached
+        assert gather.strategy == "gather"
+        again = optimize(query, tree, catalog, strategy="gather", cache=cache)
+        assert again is not gather
+        assert cache.misses == 3
+
+    def test_generous_ratio_admits_baselines(self, tree, catalog):
+        cache = PlanCache(admit_ratio=1e9)
+        query = chain_query(3)
+        optimize(query, tree, catalog, cache=cache)
+        optimize(query, tree, catalog, strategy="gather", cache=cache)
+        assert cache.rejected == 0
+        assert len(cache) == 2
+
+    def test_baseline_without_optimized_sibling_admitted(self, tree, catalog):
+        # no optimized estimate to gate against: admit
+        cache = PlanCache(admit_ratio=1.0)
+        optimize(chain_query(3), tree, catalog, strategy="gather", cache=cache)
+        assert cache.rejected == 0
+        assert len(cache) == 1
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            PlanCache(0)
+        with pytest.raises(ValueError):
+            PlanCache(admit_ratio=0.5)
+
+
+class TestLru:
+    def test_eviction_bounds_entries(self, tree, catalog):
+        cache = PlanCache(max_entries=2)
+        star_cat = dict(catalog)
+        star_cat.update(star_catalog(tree, num_satellites=2, seed=1))
+        for query in (chain_query(3), chain_query(2), star_query(2)):
+            optimize(query, tree, star_cat, cache=cache)
+        assert len(cache) == 2
+        # the oldest entry was evicted
+        optimize(chain_query(3), tree, star_cat, cache=cache)
+        assert cache.hits == 0
+        assert cache.misses == 4
+
+    def test_lookup_touches_lru_order(self, tree):
+        catalog = chain_catalog(tree, num_relations=4, rows=200, seed=0)
+        cache = PlanCache(max_entries=2)
+        optimize(chain_query(3), tree, catalog, cache=cache)
+        optimize(chain_query(2), tree, catalog, cache=cache)
+        optimize(chain_query(3), tree, catalog, cache=cache)  # touch
+        optimize(chain_query(4), tree, catalog, cache=cache)  # evicts 2-chain
+        assert optimize(chain_query(3), tree, catalog, cache=cache)
+        assert cache.hits == 2
+
+
+class TestCounters:
+    def test_hits_and_misses_labeled_by_strategy(self, tree, catalog):
+        cache = PlanCache(admit_ratio=1.0)
+        query = chain_query(3)
+        with collecting() as registry:
+            optimize(query, tree, catalog, cache=cache)
+            optimize(query, tree, catalog, cache=cache)
+            optimize(query, tree, catalog, strategy="gather", cache=cache)
+        counters = registry.snapshot()["counters"]
+        assert counters["repro_plan_cache_misses_total"] == {
+            "strategy=optimized": 1,
+            "strategy=gather": 1,
+        }
+        assert counters["repro_plan_cache_hits_total"] == {
+            "strategy=optimized": 1
+        }
+        assert counters["repro_plan_cache_rejected_total"] == {
+            "strategy=gather": 1
+        }
+
+
+class TestEngineWiring:
+    def test_run_plan_accepts_plan_cache(self, tree, catalog):
+        cache = PlanCache()
+        query = chain_query(3)
+        cold = repro.run_plan(query, tree, catalog)
+        first = repro.run_plan(query, tree, catalog, plan_cache=cache)
+        warm = repro.run_plan(query, tree, catalog, plan_cache=cache)
+        assert cache.hits == 1
+        assert warm.cost == cold.cost == first.cost
+        assert warm.rounds == cold.rounds

@@ -117,6 +117,68 @@ class TestCli:
         assert all("cost" in row and "ratio" in row for row in payload)
 
 
+class TestServeCommand:
+    def test_serve_table(self, capsys):
+        assert main(["--racks", "3", "--queries", "24", "serve"]) == 0
+        out = capsys.readouterr().out
+        assert "Warm session serving" in out
+        assert "fat-tree(3x3)" in out
+        assert "artifact hits/misses" in out
+
+    def test_serve_json(self, capsys):
+        import json
+
+        assert (
+            main(["--racks", "3", "--queries", "24", "--json", "serve"]) == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["queries"] == 24
+        assert payload["task_queries"] == 18
+        assert payload["plan_queries"] == 6
+        assert payload["session"]["runs"] == 18
+        assert payload["session"]["artifact_cache"]["misses"] == 1
+        assert payload["total_cost"] > 0
+
+    def test_serve_process_backend(self, capsys):
+        assert (
+            main(
+                [
+                    "--racks",
+                    "3",
+                    "--queries",
+                    "8",
+                    "--backend",
+                    "process",
+                    "--num-workers",
+                    "2",
+                    "--json",
+                    "serve",
+                ]
+            )
+            == 0
+        )
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["session"]["backend"] == "process"
+
+    def test_bench_serve_small(self, capsys, tmp_path, monkeypatch):
+        import json
+
+        trajectory = tmp_path / "BENCH_SERVE.json"
+        monkeypatch.setenv("BENCH_SERVE_JSON", str(trajectory))
+        assert main(["--small", "bench", "serve"]) == 0
+        out = capsys.readouterr().out
+        assert "Warm session vs cold one-shot engine" in out
+        assert "speedup" in out
+        payload = json.loads(trajectory.read_text())
+        assert payload["benchmark"] == "bench_serve"
+        assert payload["runs"][0]["grid"] == "small"
+        for case in payload["runs"][0]["cases"]:
+            assert case["identical"] is True
+            assert case["speedup"] >= case["min_speedup"]
+
+
 class TestGraphsCommand:
     def test_graphs_table(self, capsys):
         assert main(["--edges", "200", "graphs"]) == 0

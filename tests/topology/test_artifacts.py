@@ -1,0 +1,206 @@
+"""Tests for the shared topology-artifact layer (repro.topology.artifacts)."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.data.generators import random_distribution
+from repro.errors import ProtocolError
+from repro.obs.metrics import collecting
+from repro.sim.cluster import Cluster
+from repro.topology.artifacts import (
+    ArtifactCache,
+    TopologyArtifacts,
+    ensure_artifact_cache,
+    get_artifact_cache,
+    resolve_artifacts,
+    set_artifact_cache,
+    topology_fingerprint,
+    use_artifacts,
+)
+from repro.topology.builders import star, two_level
+
+
+def _tree(name=None, uplink=2.0):
+    return two_level([3, 3], uplink_bandwidth=uplink, name=name)
+
+
+class TestFingerprint:
+    def test_structurally_equal_trees_share_fingerprint(self):
+        assert topology_fingerprint(_tree("a")) == topology_fingerprint(
+            _tree("b")
+        )
+
+    def test_name_is_excluded(self):
+        tree = _tree("first build")
+        renamed = _tree("second build")
+        assert tree.name != renamed.name
+        assert topology_fingerprint(tree) == topology_fingerprint(renamed)
+
+    def test_bandwidth_changes_fingerprint(self):
+        assert topology_fingerprint(_tree(uplink=2.0)) != topology_fingerprint(
+            _tree(uplink=4.0)
+        )
+
+    def test_different_structure_changes_fingerprint(self):
+        assert topology_fingerprint(_tree()) != topology_fingerprint(
+            star(6)
+        )
+
+
+class TestTopologyArtifacts:
+    def test_compute_order_is_canonical(self):
+        tree = _tree()
+        artifacts = TopologyArtifacts(tree)
+        cluster = Cluster(tree, artifacts=artifacts)
+        assert artifacts.compute_order == cluster.compute_order
+
+    def test_rank_lookup_matches_block_assignment(self):
+        tree = _tree()
+        artifacts = TopologyArtifacts(tree)
+        routing = artifacts.oracle.routing_index
+        for num_workers in (1, 2, 4):
+            table = artifacts.rank_lookup(routing, num_workers)
+            computes = artifacts.compute_order
+            for index, node in enumerate(computes):
+                expected = (index * num_workers) // len(computes)
+                assert table[routing.index_of[node]] == expected
+            # routers stay unassigned
+            assert (table == -1).sum() == routing.num_nodes - len(computes)
+            # cached per rank count: same array object on repeat
+            assert artifacts.rank_lookup(routing, num_workers) is table
+
+
+class TestArtifactCache:
+    def test_identity_hit_skips_fingerprinting(self):
+        cache = ArtifactCache()
+        tree = _tree()
+        first = cache.get(tree)
+        assert cache.get(tree) is first
+        assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1}
+
+    def test_structural_hit_across_rebuilt_trees(self):
+        cache = ArtifactCache()
+        first = cache.get(_tree("a"))
+        second = cache.get(_tree("b"))
+        assert second is first
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_lru_eviction_bounds_entries(self):
+        cache = ArtifactCache(max_entries=2)
+        trees = [_tree(uplink=bw) for bw in (1.0, 2.0, 4.0)]
+        for tree in trees:
+            cache.get(tree)
+        assert len(cache) == 2
+        # the first topology was evicted: re-getting rebuilds (a miss)
+        cache.get(_tree(uplink=1.0))
+        assert cache.misses == 4
+
+    def test_counters_recorded_on_installed_registry(self):
+        cache = ArtifactCache()
+        tree = _tree()
+        with collecting() as registry:
+            cache.get(tree)
+            cache.get(tree)
+        snap = registry.snapshot()
+        counters = snap["counters"]
+        assert counters["repro_artifact_cache_misses_total"][""] == 1
+        assert counters["repro_artifact_cache_hits_total"][""] == 1
+
+
+class TestInstallers:
+    def test_default_is_none(self):
+        assert get_artifact_cache() is None
+
+    def test_use_artifacts_installs_and_restores(self):
+        cache = ArtifactCache()
+        with use_artifacts(cache):
+            assert get_artifact_cache() is cache
+        assert get_artifact_cache() is None
+
+    def test_use_artifacts_restores_on_exception(self):
+        cache = ArtifactCache()
+        with pytest.raises(RuntimeError):
+            with use_artifacts(cache):
+                raise RuntimeError("boom")
+        assert get_artifact_cache() is None
+
+    def test_set_returns_previous(self):
+        cache = ArtifactCache()
+        assert set_artifact_cache(cache) is None
+        assert set_artifact_cache(None) is cache
+
+    def test_ensure_is_noop_inside_session_scope(self):
+        cache = ArtifactCache()
+        with use_artifacts(cache):
+            with ensure_artifact_cache() as active:
+                assert active is cache
+            # the enclosing cache survives the inner scope
+            assert get_artifact_cache() is cache
+
+    def test_ensure_installs_one_shot_cache(self):
+        with ensure_artifact_cache() as active:
+            assert get_artifact_cache() is active
+        assert get_artifact_cache() is None
+
+    def test_installation_is_thread_local(self):
+        cache = ArtifactCache()
+        seen = {}
+
+        def probe():
+            seen["other"] = get_artifact_cache()
+
+        with use_artifacts(cache):
+            worker = threading.Thread(target=probe)
+            worker.start()
+            worker.join()
+        assert seen["other"] is None
+
+    def test_resolve_prefers_installed_cache(self):
+        cache = ArtifactCache()
+        tree = _tree()
+        with use_artifacts(cache):
+            assert resolve_artifacts(tree) is cache.get(tree)
+        # cold path: a private build, not cached anywhere
+        fresh = resolve_artifacts(tree)
+        assert fresh is not cache.get(tree)
+
+
+class TestClusterIntegration:
+    def test_explicit_artifacts_are_used(self):
+        tree = _tree()
+        artifacts = TopologyArtifacts(tree)
+        cluster = Cluster(tree, artifacts=artifacts)
+        assert cluster.artifacts is artifacts
+        assert cluster.oracle is artifacts.oracle
+
+    def test_structurally_equal_artifacts_accepted(self):
+        artifacts = TopologyArtifacts(_tree("a"))
+        cluster = Cluster(_tree("b"), artifacts=artifacts)
+        assert cluster.artifacts is artifacts
+
+    def test_mismatched_artifacts_rejected(self):
+        artifacts = TopologyArtifacts(_tree(uplink=2.0))
+        with pytest.raises(ProtocolError):
+            Cluster(_tree(uplink=4.0), artifacts=artifacts)
+
+    def test_shared_artifacts_do_not_change_ledger(self):
+        tree = _tree()
+        dist = random_distribution(
+            tree, r_size=300, s_size=300, policy="zipf", seed=3
+        )
+        from repro.core.intersection import tree_intersect
+
+        fresh = tree_intersect(tree, dist, seed=1)
+        cache = ArtifactCache()
+        with use_artifacts(cache):
+            warm_first = tree_intersect(tree, dist, seed=1)
+            warm_again = tree_intersect(tree, dist, seed=1)
+        assert warm_first.cost == fresh.cost
+        assert warm_again.cost == fresh.cost
+        assert set(warm_first.outputs) == set(fresh.outputs)
+        for node, values in fresh.outputs.items():
+            assert np.array_equal(warm_first.outputs[node], values)
+            assert np.array_equal(warm_again.outputs[node], values)
+        assert cache.hits >= 1
